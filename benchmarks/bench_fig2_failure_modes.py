@@ -1,0 +1,38 @@
+"""Figure 2 — failure-mode analysis of binary analysis vs rewriting.
+
+Injects each of the three CFG-construction failure kinds and observes
+exactly the consequences Figure 2 draws:
+
+* analysis reporting failure  -> lower coverage, correct binary;
+* over-approximation          -> unnecessary trampoline, correct binary;
+* under-approximation         -> wrong instrumentation (the strong test
+                                 surfaces it as a fault / wrong output).
+"""
+
+from repro.eval import failure_modes
+
+
+def test_fig2(benchmark, print_section):
+    result = benchmark.pedantic(failure_modes, rounds=1, iterations=1)
+
+    assert result.report_correct
+    assert result.report_coverage < result.baseline_coverage
+    assert result.overapprox_correct
+    assert result.overapprox_trampolines > result.baseline_trampolines
+    assert result.underapprox_outcome != "ran (output correct)"
+
+    rows = [
+        f"{'injected failure':<28} {'consequence':<40}",
+        "-" * 70,
+        f"{'(none)':<28} coverage={result.baseline_coverage:.2%}, "
+        f"{result.baseline_trampolines} trampolines",
+        f"{'analysis reporting failure':<28} "
+        f"coverage drops to {result.report_coverage:.2%}; output "
+        f"correct={result.report_correct}",
+        f"{'over-approximation':<28} "
+        f"{result.overapprox_trampolines} trampolines "
+        f"(+{result.overapprox_trampolines - result.baseline_trampolines}"
+        f" unnecessary); output correct={result.overapprox_correct}",
+        f"{'under-approximation':<28} {result.underapprox_outcome}",
+    ]
+    print_section("Figure 2: failure-mode analysis", "\n".join(rows))

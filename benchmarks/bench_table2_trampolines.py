@@ -1,0 +1,55 @@
+"""Table 2 — trampoline instruction sequences.
+
+Regenerates the per-architecture catalog from the implemented sequences
+and validates each row by actually installing and encoding the
+trampoline.  The timed section installs one of each kind.
+"""
+
+from repro.binfmt import Binary, make_alloc_section
+from repro.core import ScratchPool, TrampolineInstaller
+from repro.eval import table2
+from repro.isa import get_arch
+
+
+def _install_all_kinds():
+    """One trampoline of each Table 2 flavor, on each architecture."""
+    installed = []
+    for arch in ("x86", "ppc64", "aarch64"):
+        spec = get_arch(arch)
+        binary = Binary("t", arch, "EXEC")
+        binary.add_section(make_alloc_section(
+            ".text", 0x10000, b"\x3d" * 0x400, exec_=True
+        ))
+        binary.metadata["toc_base"] = 0x20000
+        pool = ScratchPool([(0x10200, 0x10280)])
+        inst = TrampolineInstaller(binary, spec, pool, toc_base=0x20000)
+        near = 0x10100
+        far = 0x10000 + (1 << 21)
+        if arch == "x86":
+            installed.append((arch, inst.install("f", 0x10000, 8, far,
+                                                 [15]).kind))
+            installed.append((arch, inst.install("f", 0x101B0, 2, far,
+                                                 [15]).kind))
+        else:
+            installed.append((arch, inst.install("f", 0x10000, 4, near,
+                                                 [15]).kind))
+            installed.append((arch, inst.install("f", 0x10010, 16, far,
+                                                 [15]).kind))
+    return installed
+
+
+def test_table2(benchmark, print_section):
+    installed = benchmark.pedantic(_install_all_kinds, rounds=1,
+                                   iterations=1)
+    kinds = {(a, k) for a, k in installed}
+    assert ("x86", "long") in kinds
+    assert ("x86", "hop") in kinds
+    assert ("ppc64", "direct") in kinds
+    assert ("ppc64", "long") in kinds
+    assert ("aarch64", "direct") in kinds
+    assert ("aarch64", "long") in kinds
+    body = table2() + "\n\ninstalled: " + ", ".join(
+        f"{a}/{k}" for a, k in installed
+    )
+    print_section("Table 2: trampoline instruction sequences "
+                  "(simulation-scaled ranges)", body)

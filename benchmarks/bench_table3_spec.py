@@ -1,0 +1,45 @@
+"""Table 3 — block-level empty instrumentation on the SPEC-like suite.
+
+For each architecture, runs {SRBI, dir, jt, func-ptr, IR-lowering} over
+the suite with the strong rewrite test, and prints the regenerated Table
+3 (time overhead / coverage / size increase / pass count).
+
+The default subset keeps the bench fast; set REPRO_BENCH_FULL=1 for all
+19 benchmarks.
+"""
+
+import pytest
+
+from repro.eval import spec2017, table3
+
+from conftest import table3_benchmarks
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc64", "aarch64"])
+def test_table3(benchmark, arch, print_section):
+    benchmarks = table3_benchmarks()
+    summaries, runs = benchmark.pedantic(
+        lambda: spec2017(arch, benchmarks=benchmarks),
+        rounds=1, iterations=1,
+    )
+
+    # The paper's headline shapes must hold.
+    assert summaries["func-ptr"]["overhead_mean"] <= \
+        summaries["jt"]["overhead_mean"] <= \
+        summaries["dir"]["overhead_mean"]
+    assert summaries["func-ptr"]["overhead_mean"] < 0.01
+    assert summaries["srbi"]["coverage_mean"] < \
+        summaries["dir"]["coverage_mean"]
+    assert summaries["srbi"]["pass"] < summaries["dir"]["pass"]
+    assert summaries["dir"]["pass"] == len(benchmarks)
+    assert summaries["ir-lowering"]["overhead_mean"] < 0.005
+
+    benchmark.extra_info["summaries"] = {
+        tool: {k: v for k, v in s.items()}
+        for tool, s in summaries.items()
+    }
+    print_section(
+        f"Table 3 ({arch}, {len(benchmarks)} benchmarks): block-level "
+        f"empty instrumentation",
+        table3({arch: summaries}),
+    )

@@ -1,0 +1,44 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows (run with ``-s`` to see them; they are also
+attached to the pytest-benchmark ``extra_info``).
+
+Scale knobs: set REPRO_BENCH_FULL=1 to run the full 19-benchmark suite
+in the Table 3 benches (the default uses a representative subset so
+``pytest benchmarks/ --benchmark-only`` stays in CI-friendly time).
+"""
+
+import os
+
+import pytest
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Representative subset: C-heavy, exception-using, Fortran, hostile.
+SUBSET = (
+    "602.sgcc_s",
+    "605.mcf_s",
+    "619.lbm_s",
+    "620.omnetpp_s",
+    "623.xalancbmk_s",
+    "648.exchange2_s",
+)
+
+
+def table3_benchmarks():
+    if FULL:
+        from repro.toolchain.workloads import SPEC_BENCHMARK_NAMES
+        return SPEC_BENCHMARK_NAMES
+    return SUBSET
+
+
+@pytest.fixture(scope="session")
+def print_section(request):
+    def _print(title, body):
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(body)
+    return _print

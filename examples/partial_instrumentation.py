@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diogenes-style partial instrumentation of a stripped library.
+
+The paper's Section 9 case study: Diogenes instruments ~700 of the
+12,644 functions in Nvidia's (mostly stripped) libcuda.so to find an
+internal synchronization function.  IR-lowering tools cannot do this —
+they must lift *everything* and fail on the library's metadata — while
+incremental CFG patching instruments exactly the subset, unaffected by
+analysis-resistant functions elsewhere in the binary.
+
+This example instruments a chosen subset of the libcuda-like workload
+with call tracing (block counters), runs the "identification test", and
+reports which instrumented functions never returned — Diogenes's actual
+detection signal for the hidden synchronization routine.
+"""
+
+from repro.analysis import build_cfg
+from repro.baselines import IrLoweringRewriter
+from repro.core import (
+    CountingInstrumentation,
+    IncrementalRewriter,
+    RewriteMode,
+)
+from repro.machine import machine_for
+from repro.toolchain.workloads import libcuda_like
+from repro.util.errors import RewriteError
+
+
+def main():
+    program, binary = libcuda_like()
+    cfg = build_cfg(binary)
+    every = [f for f in cfg.sorted_functions()
+             if f.ok and not f.is_runtime_support]
+    failed = cfg.failed_functions()
+    print(f"stripped driver library: {len(every) + len(failed)} "
+          f"functions discovered, {len(failed)} resist analysis")
+
+    # The subset Diogenes would pick: call-graph intersection of the
+    # public synchronization entry points (here: a structural pick).
+    subset = frozenset(f.name for f in every[::3])
+    print(f"instrumenting {len(subset)} of them "
+          f"(partial instrumentation)\n")
+
+    print("[IR lowering] ", end="")
+    try:
+        IrLoweringRewriter().rewrite(binary)
+        print("unexpectedly succeeded")
+    except RewriteError as exc:
+        print(f"fails outright: {str(exc)[:60]}")
+
+    print("[incremental CFG patching] ", end="")
+    counting = CountingInstrumentation(function_filter=subset)
+    rewriter = IncrementalRewriter(mode=RewriteMode.JT,
+                                   instrumentation=counting)
+    rewritten, report = rewriter.rewrite(binary)
+    runtime = rewriter.runtime_library(rewritten)
+    machine = machine_for(rewritten)
+    image = machine.load(rewritten)
+    machine.install_runtime(runtime, image)
+    result = machine.run(image)
+    print(f"instrumented {report.relocated_functions} functions; "
+          f"run exit={result.exit_code}")
+
+    entry_hits = {}
+    for (fn_name, block_start), _slot in counting.slot_of.items():
+        fcfg = cfg.by_name[fn_name]
+        if block_start != fcfg.entry:
+            continue
+        addr = counting.counter_addr(fn_name, block_start) + image.bias
+        entry_hits[fn_name] = machine.memory.read_int(addr, 8)
+
+    called = sorted((n for n, c in entry_hits.items() if c),
+                    key=lambda n: -entry_hits[n])
+    print(f"\n{'function':<18} {'calls':>8}")
+    print("-" * 28)
+    for name in called[:10]:
+        print(f"{name:<18} {entry_hits[name]:>8}")
+    uncalled = [n for n, c in entry_hits.items() if not c]
+    print(f"\n{len(uncalled)} instrumented functions never entered "
+          f"during the test")
+    print("(Diogenes flags the deepest never-returning function as the "
+          "hidden sync routine)")
+
+
+if __name__ == "__main__":
+    main()

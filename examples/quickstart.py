@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: rewrite a binary in every mode and compare.
+
+Builds a SPEC-like benchmark binary with the synthetic toolchain, then
+rewrites it with incremental CFG patching in its three modes — ``dir``
+(direct control flow only), ``jt`` (+ jump-table cloning), ``func-ptr``
+(+ function-pointer redirection) — applying the paper's strong test
+(every basic block instrumented, original code bytes scorched), and
+runs each rewritten binary on the emulator.
+
+Expected output: all three modes produce behaviourally identical
+binaries; overhead shrinks as more control flow is rewritten
+(dir > jt > func-ptr ~ 0), exactly the paper's Table 3 trend.
+"""
+
+from repro.core import RewriteMode, rewrite_binary
+from repro.machine import run_binary
+from repro.toolchain.workloads import build_workload, spec_workload
+
+
+def main():
+    arch = "x86"
+    name = "602.sgcc_s"
+    print(f"building {name} for {arch}...")
+    program, binary = build_workload(spec_workload(name, arch), arch)
+    base = run_binary(binary)
+    print(f"  original: exit={base.exit_code} output={base.output} "
+          f"cycles={base.cycles:,}")
+    print(f"  {len(binary.function_symbols())} functions, "
+          f"{binary.section('.text').size:,} bytes of code, "
+          f"{len(binary.metadata['jump_tables'])} jump tables")
+    print()
+
+    header = (f"{'mode':<10} {'result':<8} {'overhead':>9} "
+              f"{'coverage':>9} {'size':>8} {'trampolines'}")
+    print(header)
+    print("-" * len(header))
+    for mode in (RewriteMode.DIR, RewriteMode.JT, RewriteMode.FUNC_PTR):
+        rewritten, report, runtime = rewrite_binary(
+            binary, mode, scorch_original=True
+        )
+        result = run_binary(rewritten, runtime_lib=runtime)
+        same = (result.exit_code, result.output) == (base.exit_code,
+                                                     base.output)
+        overhead = result.cycles / base.cycles - 1
+        tramps = ", ".join(f"{k}={v}"
+                           for k, v in report.trampolines.items() if v)
+        print(f"{str(mode):<10} {'OK' if same else 'WRONG':<8} "
+              f"{overhead:>8.2%} {report.coverage:>8.2%} "
+              f"{report.size_increase:>7.1%} {tramps}")
+    print()
+    print("(the strong test scorched every relocated original byte; any")
+    print(" missed trampoline would have faulted, not silently misrun)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — Incremental CFG Patching for Binary Rewriting (ASPLOS 2021).
+
+A complete, self-contained reproduction: synthetic multi-architecture
+ISAs and binaries, a deterministic emulator, the binary-analysis stack,
+the incremental CFG patching rewriter, baseline rewriters, and the
+evaluation harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro.toolchain.workloads import build_workload, spec_workload
+    from repro.core import RewriteMode, rewrite_binary
+    from repro.machine import run_binary
+
+    program, binary = build_workload(spec_workload("605.mcf_s", "x86"),
+                                     "x86")
+    rewritten, report, runtime = rewrite_binary(binary,
+                                                RewriteMode.FUNC_PTR)
+    result = run_binary(rewritten, runtime_lib=runtime)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    CountingInstrumentation,
+    EmptyInstrumentation,
+    IncrementalRewriter,
+    RewriteMode,
+    RewriteReport,
+    RuntimeLibrary,
+    rewrite_binary,
+)
+from repro.machine import Machine, RunResult, run_binary
+
+__all__ = [
+    "__version__",
+    "RewriteMode",
+    "IncrementalRewriter",
+    "RewriteReport",
+    "rewrite_binary",
+    "RuntimeLibrary",
+    "EmptyInstrumentation",
+    "CountingInstrumentation",
+    "Machine",
+    "RunResult",
+    "run_binary",
+]

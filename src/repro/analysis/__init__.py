@@ -1,0 +1,50 @@
+"""Binary analysis: disassembly, CFG construction, jump tables, function
+pointers, indirect-tail-call heuristics, liveness, failure injection."""
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    BinaryCFG,
+    BRANCH,
+    CALL_FALLTHROUGH,
+    FALLTHROUGH,
+    FunctionCFG,
+    JUMP_TABLE,
+    JumpTable,
+    LANDING_PAD,
+    TAIL_CALL,
+)
+from repro.analysis.construction import ConstructionOptions, build_cfg
+from repro.analysis.failures import FailurePlan, inject_failures
+from repro.analysis.funcptr import (
+    CodeConstDef,
+    DataSlotDef,
+    DerivedFlowDef,
+    FuncPtrAnalysis,
+    analyze_function_pointers,
+)
+from repro.analysis.jumptable import JumpTableAnalyzer
+from repro.analysis.liveness import LivenessAnalysis
+
+__all__ = [
+    "BasicBlock",
+    "BinaryCFG",
+    "FunctionCFG",
+    "JumpTable",
+    "BRANCH",
+    "FALLTHROUGH",
+    "CALL_FALLTHROUGH",
+    "JUMP_TABLE",
+    "TAIL_CALL",
+    "LANDING_PAD",
+    "build_cfg",
+    "ConstructionOptions",
+    "FailurePlan",
+    "inject_failures",
+    "analyze_function_pointers",
+    "FuncPtrAnalysis",
+    "DataSlotDef",
+    "CodeConstDef",
+    "DerivedFlowDef",
+    "JumpTableAnalyzer",
+    "LivenessAnalysis",
+]

@@ -1,0 +1,104 @@
+"""Failure injection for binary analysis (Figure 2).
+
+The paper's failure-mode analysis distinguishes three ways CFG
+construction can go wrong and traces each to its rewriting consequence:
+
+* **analysis reporting failure** → the function is skipped (coverage
+  drops, everything else keeps working);
+* **over-approximation** (infeasible edges) → spurious CFL blocks and
+  extra trampolines, but a *correct* binary;
+* **under-approximation** (missed edges) → a missing trampoline and a
+  potentially wrong binary.
+
+:func:`inject_failures` perturbs a freshly built CFG accordingly so the
+Figure-2 experiment (and tests) can observe those exact consequences.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import BRANCH, BasicBlock
+from repro.util.errors import AnalysisError
+
+
+@dataclass
+class FailurePlan:
+    """What to break, per function name."""
+
+    #: functions whose analysis should report failure
+    report: set = field(default_factory=set)
+    #: functions to receive a spurious mid-block incoming edge
+    #: (over-approximation)
+    overapproximate: set = field(default_factory=set)
+    #: functions in which one real jump-table edge is hidden
+    #: (under-approximation)
+    underapproximate: set = field(default_factory=set)
+
+
+def inject_failures(cfg, plan):
+    """Mutate ``cfg`` in place per the plan; returns it."""
+    for fcfg in list(cfg):
+        if fcfg.name in plan.report:
+            fcfg.failed = "injected analysis reporting failure"
+        if fcfg.name in plan.overapproximate and fcfg.ok:
+            _inject_overapprox(fcfg)
+        if fcfg.name in plan.underapproximate and fcfg.ok:
+            _inject_underapprox(fcfg)
+    return cfg
+
+
+def _inject_overapprox(fcfg):
+    """Add an infeasible edge targeting the middle of some block.
+
+    Splitting the block at the bogus target mirrors what a real
+    over-approximated edge does during CFG construction (Section 4.3):
+    two blocks b1=[s,x) and b2=[x,e) appear, and b2 may become a CFL
+    block, costing an unnecessary trampoline — but never correctness.
+    """
+    for block in fcfg.sorted_blocks():
+        if len(block.insns) < 3:
+            continue
+        split_insn = block.insns[len(block.insns) // 2]
+        x = split_insn.addr
+        lower = [i for i in block.insns if i.addr < x]
+        upper = [i for i in block.insns if i.addr >= x]
+        b1 = BasicBlock(block.start, lower, fcfg.name)
+        b2 = BasicBlock(x, upper, fcfg.name)
+        b1.succs = [("fallthrough", x)]
+        b2.succs = block.succs
+        # The infeasible incoming edge lands at x.
+        b2.preds = list(block.preds) + [(BRANCH, None)]
+        del fcfg.blocks[block.start]
+        fcfg.add_block(b1)
+        fcfg.add_block(b2)
+        fcfg.injected_overapprox_target = x
+        return
+    raise AnalysisError(
+        f"{fcfg.name}: no block large enough for over-approx injection"
+    )
+
+
+def _inject_underapprox(fcfg):
+    """Hide one real jump-table target (a missed edge).
+
+    The rewriter consequently never installs the trampoline that target
+    needs, which is the "wrong instrumentation" arrow of Figure 2 — the
+    strong rewrite test then faults on the scorched original bytes.
+    """
+    for fcfg_table in fcfg.jump_tables:
+        if len(set(fcfg_table.targets)) > 1:
+            hidden = fcfg_table.targets[-1]
+            kept = [t for t in fcfg_table.targets if t != hidden]
+            fcfg_table.targets = kept + [kept[0]] * (
+                len(fcfg_table.targets) - len(kept)
+            )
+            for block in fcfg.sorted_blocks():
+                block.succs = [
+                    (kind, target)
+                    for kind, target in block.succs
+                    if not (kind == "jump_table" and target == hidden)
+                ]
+            fcfg.injected_hidden_target = hidden
+            return
+    raise AnalysisError(
+        f"{fcfg.name}: no jump table available for under-approx injection"
+    )

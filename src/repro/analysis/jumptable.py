@@ -1,0 +1,241 @@
+"""Jump-table analysis (Section 5.1).
+
+Given the linear instruction run ending at an indirect jump, symbolically
+evaluate it and match the jump-target expression against the compiler
+dispatch shapes::
+
+    tar(x) = table_base + x            (x86/ppc64: 4-byte signed entries)
+    tar(x) = base + (x << s)           (aarch64: 1/2-byte unsigned entries)
+
+On success we recover everything cloning needs: the table address, entry
+size/signedness, the ``tar`` expression, the raw-index register, and the
+first instruction of the dispatch sequence.  The entry *count* comes from
+the preceding bounds check when one is found; otherwise we fall back to
+the paper's Assumption-2 boundary rule (extend to the nearest known
+non-table data or the next table / section end), which may over- but
+never under-approximate.
+
+Failures raise :class:`AnalysisError` — the graceful "analysis reporting
+failure" mode of Figure 2; callers then try the indirect-tail-call
+heuristic or mark the function uninstrumentable.
+"""
+
+import bisect
+
+from repro.analysis.cfg import JumpTable
+from repro.analysis.symeval import Bin, BlockEval, Const, Input, Load
+from repro.util.errors import AnalysisError
+
+#: Hard cap on boundary-estimated table sizes.
+MAX_ESTIMATED_ENTRIES = 512
+
+#: How many instructions before the dispatch run to search for the bounds
+#: check.
+BOUND_SEARCH_WINDOW = 12
+
+
+def _flatten_sum(value):
+    """Flatten a tree of Bin('+') into (symbolic terms, const sum, provs)."""
+    terms = []
+    const_sum = 0
+    provs = []
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Bin) and node.op == "+":
+            stack.append(node.a)
+            stack.append(node.b)
+        elif isinstance(node, Const):
+            const_sum += node.value
+            if node.prov is not None:
+                provs.append(node.prov)
+        else:
+            terms.append(node)
+    return terms, const_sum, provs
+
+
+def _prov_addrs(prov):
+    """Instruction addresses participating in a provenance record."""
+    return [a for a in prov[1:] if isinstance(a, int)]
+
+
+class JumpTableAnalyzer:
+    """Analyzes indirect jumps; configurable strength.
+
+    ``track_spills=False`` models the weaker Dyninst-10.2-era analysis the
+    paper compares against: values spilled through the stack defeat it
+    (SRBI's coverage loss in Table 3).
+    """
+
+    def __init__(self, binary, spec, track_spills=True):
+        self.binary = binary
+        self.spec = spec
+        self.track_spills = track_spills
+
+    def analyze(self, run_insns, insn_index, fcfg):
+        """Analyze the dispatch run; returns a JumpTable or raises.
+
+        ``run_insns`` is the linear instruction list of the run ending at
+        the indirect jump; ``insn_index`` is a sorted address->insn map of
+        everything decoded so far (for the bounds-check search).
+        """
+        ev = BlockEval(self.binary, self.spec)
+        if not self.track_spills:
+            ev.stack = _NoSpillDict()
+        for insn in run_insns[:-1]:
+            ev.step(insn)
+        jmpr = run_insns[-1]
+        target = ev.reg(jmpr.operands[0])
+        return self._match(target, run_insns, insn_index, fcfg)
+
+    # -- matching --------------------------------------------------------------
+
+    def _match(self, target, run_insns, insn_index, fcfg):
+        terms, tar_base, provs = _flatten_sum(target)
+        if len(terms) != 1:
+            raise AnalysisError(
+                f"jump target at {run_insns[-1].addr:#x} is not "
+                f"base + entry (got {len(terms)} symbolic terms)"
+            )
+        node = terms[0]
+        shift = 0
+        if isinstance(node, Bin) and node.op == "<<" \
+                and isinstance(node.b, Const):
+            shift = node.b.value
+            node = node.a
+        if not isinstance(node, Load):
+            raise AnalysisError(
+                f"jump target entry at {run_insns[-1].addr:#x} is not a "
+                f"table load ({type(node).__name__})"
+            )
+        entry_size = node.size
+        signed = node.signed
+
+        idx_terms, table_addr, idx_provs = _flatten_sum(node.addr)
+        if len(idx_terms) != 1:
+            raise AnalysisError("table address is not base + index")
+        index = idx_terms[0]
+        index_shift = 0
+        if isinstance(index, Bin) and index.op == "<<" \
+                and isinstance(index.b, Const):
+            index_shift = index.b.value
+            index = index.a
+        if not isinstance(index, Input):
+            raise AnalysisError(
+                f"table index is not a plain register "
+                f"({type(index).__name__})"
+            )
+        if (1 << index_shift) != entry_size:
+            raise AnalysisError(
+                f"index scaling {1 << index_shift} does not match entry "
+                f"size {entry_size}"
+            )
+        section = self.binary.section_containing(table_addr)
+        if section is None or section.is_writable:
+            raise AnalysisError(
+                f"jump table at {table_addr:#x} is not in read-only memory"
+            )
+
+        seq_addrs = []
+        for prov in provs + idx_provs:
+            seq_addrs.extend(_prov_addrs(prov))
+        if not seq_addrs:
+            raise AnalysisError("cannot locate dispatch sequence start")
+        seq_start = min(seq_addrs)
+
+        count = self._find_bound(run_insns, insn_index, index.reg)
+        estimated = count is None
+        if estimated:
+            count = self._estimate_count(table_addr, entry_size, fcfg)
+
+        targets = self._read_targets(
+            table_addr, entry_size, count, signed, tar_base, shift
+        )
+        base_reg = None
+        for insn in run_insns:
+            if insn.addr == seq_start and insn.operands \
+                    and isinstance(insn.operands[0], int):
+                base_reg = insn.operands[0]
+                break
+        table = JumpTable(
+            dispatch_addr=run_insns[-1].addr,
+            table_addr=table_addr,
+            entry_size=entry_size,
+            count=count,
+            tar_kind="base_plus" if shift == 0 else "base_plus_shifted",
+            tar_base=tar_base,
+            signed=signed,
+            index_reg=index.reg,
+            seq_start=seq_start,
+            targets=targets,
+            shift=shift,
+        )
+        table.base_reg = base_reg
+        table.count_estimated = estimated
+        return table
+
+    # -- bounds --------------------------------------------------------------------
+
+    def _find_bound(self, run_insns, insn_index, index_reg):
+        """Find the bounds check guarding the dispatch; returns the entry
+        count, or None when no check is found."""
+        addrs = sorted(insn_index)
+        run_start = run_insns[0].addr
+        pos = bisect.bisect_left(addrs, run_start)
+        window = addrs[max(0, pos - BOUND_SEARCH_WINDOW):pos]
+        consts = {}
+        bound = None
+        for addr in window:
+            insn = insn_index[addr]
+            m = insn.mnemonic
+            if m == "movi":
+                consts[insn.operands[0]] = insn.operands[1]
+            elif m == "lis":
+                consts[insn.operands[0]] = insn.operands[1] << 16
+            elif m == "addi" and insn.operands[1] == insn.operands[0] \
+                    and insn.operands[0] in consts:
+                consts[insn.operands[0]] += insn.operands[2]
+            elif m == "bge":
+                rb = insn.operands[1]
+                if rb in consts and consts[rb] > 0:
+                    bound = consts[rb]
+            elif m in ("mov", "addi"):
+                consts.pop(insn.operands[0], None)
+        return bound
+
+    def _estimate_count(self, table_addr, entry_size, fcfg):
+        """Assumption-2 boundary estimate (never under-approximates)."""
+        section = self.binary.section_containing(table_addr)
+        boundary = section.end
+        for other in fcfg.jump_tables:
+            if other.table_addr > table_addr:
+                boundary = min(boundary, other.table_addr)
+        if section.is_exec and fcfg.range_end is not None:
+            boundary = min(boundary, fcfg.range_end)
+        count = max(1, (boundary - table_addr) // entry_size)
+        return min(count, MAX_ESTIMATED_ENTRIES)
+
+    def _read_targets(self, table_addr, entry_size, count, signed,
+                      tar_base, shift):
+        targets = []
+        for i in range(count):
+            try:
+                raw = self.binary.read(table_addr + i * entry_size,
+                                       entry_size)
+            except (KeyError, ValueError):
+                raise AnalysisError(
+                    f"jump table at {table_addr:#x} runs off its section"
+                )
+            x = int.from_bytes(raw, "little", signed=signed)
+            targets.append(tar_base + (x << shift))
+        return targets
+
+
+class _NoSpillDict(dict):
+    """Stack-slot map that forgets everything (the weak analyzer)."""
+
+    def __setitem__(self, key, value):
+        pass
+
+    def __contains__(self, key):
+        return False

@@ -1,0 +1,101 @@
+"""Register liveness analysis (Section 7).
+
+The long trampoline sequences on ppc64/aarch64 need a scratch register to
+build the branch target; the rewriter uses this analysis to find one that
+is *dead* at the trampoline site.  When none is dead, ppc64 falls back to
+a save/restore sequence and aarch64 to a trap trampoline, exactly as the
+paper describes.
+
+Standard backward may-liveness over the function CFG.  Conservative
+boundary conditions: blocks with unknown successors (unresolved indirect
+flow, tail calls, returns) are live-out for the ABI registers; landing-pad
+blocks are additionally live-in for R0 (the exception payload arrives
+there).
+"""
+
+from repro.analysis.cfg import LANDING_PAD, TAIL_CALL
+from repro.analysis.semantics import EXIT_LIVE, uses_defs
+from repro.isa.registers import GPRS, NUM_REGS, R0, SP, TOC
+
+
+class LivenessAnalysis:
+    """Per-function liveness; query live-in sets at block starts."""
+
+    def __init__(self, fcfg, spec):
+        self.fcfg = fcfg
+        self.spec = spec
+        self._live_in = {}
+        self._live_out = {}
+        self._solve()
+
+    # -- public ----------------------------------------------------------
+
+    def live_in(self, block_start):
+        """Registers live at the start of the block."""
+        return self._live_in.get(block_start, frozenset(range(NUM_REGS)))
+
+    def dead_gprs_at(self, block_start):
+        """General-purpose registers dead at the block start (sorted,
+        preferring high registers, which the toolchain uses as temps)."""
+        live = self.live_in(block_start)
+        return [r for r in sorted(GPRS, reverse=True) if r not in live]
+
+    # -- dataflow -----------------------------------------------------------
+
+    def _block_exit_live(self, block):
+        """Boundary live-out contribution for edges leaving the function."""
+        term = block.terminator
+        extra = set()
+        if term is None:
+            return extra
+        exits = not block.succs or any(
+            kind == TAIL_CALL or target is None
+            for kind, target in block.succs
+        )
+        if term.is_return or exits or term.mnemonic == "syscall":
+            extra |= set(EXIT_LIVE)
+            if term.mnemonic == "jmpr":
+                # Tail call: outgoing arguments are live.
+                extra |= {1, 2, 3}
+        return extra
+
+    def _solve(self):
+        fcfg = self.fcfg
+        blocks = fcfg.sorted_blocks()
+        push_ra = self.spec.call_pushes_return_address
+        use_def = {}
+        for block in blocks:
+            uses = set()
+            defs = set()
+            for insn in block.insns:
+                try:
+                    u, d = uses_defs(insn, push_ra)
+                except KeyError:
+                    u, d = set(), set()
+                uses |= (u - defs)
+                defs |= d
+            use_def[block.start] = (uses, defs)
+            self._live_in[block.start] = set(uses)
+            self._live_out[block.start] = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                out = self._block_exit_live(block)
+                for kind, target in block.succs:
+                    if target is not None and target in fcfg.blocks:
+                        out |= self._live_in[target]
+                uses, defs = use_def[block.start]
+                new_in = uses | (out - defs)
+                new_in |= {SP, TOC}
+                if block.start in fcfg.landing_pad_blocks:
+                    new_in.add(R0)
+                if new_in != self._live_in[block.start] or \
+                        out != self._live_out[block.start]:
+                    self._live_in[block.start] = new_in
+                    self._live_out[block.start] = out
+                    changed = True
+
+        for start in self._live_in:
+            self._live_in[start] = frozenset(self._live_in[start])

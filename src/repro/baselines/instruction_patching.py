@@ -1,0 +1,195 @@
+"""The instruction-patching baseline (E9Patch-like; paper Sections 1-2).
+
+No control flow is rewritten and no binary analysis is used beyond plain
+disassembly for instruction boundaries.  Each instrumented instruction is
+replaced in place by a branch to a per-instruction trampoline that runs
+the instrumentation, re-executes the displaced instruction, and branches
+back to the next instruction.  Reliability is maximal; overhead is two
+extra taken branches (plus i-cache pollution) per instrumented
+instruction — "over 100% runtime overhead when instrumenting basic blocks
+with empty instrumentation".
+
+High-level instrumentation semantics are NOT guaranteed: this baseline
+patches *addresses*, not CFG blocks, which is the paper's function-entry-
+in-a-loop example of why CFG-less patching is semantically weaker.  Stack
+unwinding is likewise unsupported (Table 1: "NA") — return addresses of
+displaced calls point into the patch area.
+
+Faithfulness notes: the x86 patcher uses the 5-byte branch when the
+instruction is long enough, a 2-byte short branch into nearby padding
+otherwise, and a trap as last resort (E9Patch's prefix/punning tricks
+collapse to the same three-way outcome at our modeling granularity).  On
+the fixed-length architectures every instruction fits a branch but range
+may force a trap — the paper's observation that E9Patch's technique
+"cannot be extended to ppc64le or aarch64".
+"""
+
+from repro.analysis.construction import build_cfg
+from repro.binfmt.sections import Section
+from repro.core.instrumentation import EmptyInstrumentation
+from repro.core.layout import prepare_output
+from repro.core.placement import padding_ranges
+from repro.core.relocate import RelocEmitter
+from repro.core.rewriter import RewriteReport
+from repro.core.runtime_lib import pack_addr_map
+from repro.core.trampolines import ScratchPool
+from repro.isa import get_arch
+from repro.isa.insn import Instruction, Mem
+from repro.toolchain.asm import Label, Stream
+from repro.isa.registers import R15
+
+
+class InstructionPatcher:
+    """Per-instruction patching of block-start instructions."""
+
+    def __init__(self, instrumentation=None):
+        self.instrumentation = instrumentation or EmptyInstrumentation()
+
+    def rewrite(self, binary):
+        """Returns (rewritten Binary, RewriteReport)."""
+        spec = get_arch(binary.arch_name)
+        cfg = build_cfg(binary)
+        extra = self.instrumentation.prepare(binary, cfg)
+        out, dead_ranges, extra_addrs = prepare_output(binary, extra)
+        if hasattr(self.instrumentation, "section_addr") \
+                and ".icounters" in extra_addrs:
+            self.instrumentation.section_addr = extra_addrs[".icounters"]
+
+        # Collect the instruction sites to patch (block starts).
+        sites = []
+        for fcfg in cfg.sorted_functions():
+            if not fcfg.ok or fcfg.is_runtime_support:
+                continue
+            if not self.instrumentation.wants_function(fcfg):
+                continue
+            for block in fcfg.sorted_blocks():
+                if self.instrumentation.wants_block(fcfg, block):
+                    sites.append((fcfg, block))
+
+        # Emit one mini-trampoline per site.
+        stream = Stream(".epatch")
+        toc_anchor = Label("toc")
+        toc_anchor.addr = binary.metadata.get("toc_base", 0)
+        emitter = RelocEmitter(stream, spec, binary.is_pic, toc_anchor,
+                               extra_addrs)
+        entry_labels = {}
+        for fcfg, block in sites:
+            insn = block.insns[0]
+            label = Label(f"patch_{insn.addr:x}")
+            entry_labels[insn.addr] = label
+            stream.label(label)
+            self.instrumentation.emit(emitter, fcfg, block)
+            self._displace(stream, spec, insn, emitter)
+            if insn.falls_through:
+                back = Label(f"back_{insn.addr:x}")
+                back.addr = insn.addr + insn.length
+                stream.emit("jmp", 0, target=back)
+
+        base = out.next_free_addr(64)
+        stream.assign_addresses(spec, base)
+        out.add_section(Section(".epatch", base,
+                                stream.render(spec, base),
+                                ("ALLOC", "EXEC"), 16))
+
+        # Patch every site in place.
+        pool = ScratchPool(padding_ranges(binary, cfg, spec)
+                           + list(dead_ranges))
+        trap_map = {}
+        stats = {"direct": 0, "long": 0, "hop": 0, "save_restore": 0,
+                 "trap": 0}
+        for fcfg, block in sites:
+            insn = block.insns[0]
+            target = entry_labels[insn.addr].resolved()
+            self._patch_site(out, spec, insn, target, pool, trap_map,
+                             stats)
+
+        addr = out.next_free_addr(16)
+        out.add_section(Section(".trap_map", addr,
+                                pack_addr_map(trap_map), ("ALLOC",), 8))
+        out.metadata["rewrite"] = {"mode": "instruction-patching",
+                                   "trampolines": stats}
+
+        candidates = [f for f in cfg.sorted_functions()
+                      if not f.is_runtime_support]
+        report = RewriteReport(
+            mode="instruction-patching",
+            arch=spec.name,
+            total_functions=len(candidates),
+            relocated_functions=len([f for f in candidates if f.ok]),
+            trampolines=stats,
+            traps=stats["trap"],
+            original_loaded=binary.loaded_size(),
+            rewritten_loaded=out.loaded_size(),
+        )
+        return out, report
+
+    # -- helpers ------------------------------------------------------------
+
+    def _displace(self, stream, spec, insn, emitter):
+        """Re-emit the displaced instruction inside the trampoline."""
+        m = insn.mnemonic
+        if insn.pcrel_index is not None:
+            target = Label(f"orig_{insn.target:x}")
+            target.addr = insn.target
+            if m == "jmp.s":
+                stream.emit("jmp", 0, target=target)
+            elif m.startswith("ldpc") and spec.name != "x86":
+                rd = insn.operands[0]
+                emitter.emit_addr_label(rd, target)
+                stream.emit("ld" + m[4:], rd, Mem(rd, 0))
+            elif m == "leapc" and spec.name != "x86":
+                emitter.emit_addr_label(insn.operands[0], target)
+            else:
+                ops = list(insn.operands)
+                ops[insn.pcrel_index] = 0
+                stream.emit(m, *ops, target=target)
+        elif m == "adrp":
+            value = (insn.addr & ~0xFFF) + (insn.operands[1] << 12)
+            label = Label(f"orig_{value:x}")
+            label.addr = value
+            emitter.emit_addr_label(insn.operands[0], label)
+        else:
+            stream.emit(m, *insn.operands)
+
+    def _patch_site(self, out, spec, insn, target, pool, trap_map, stats):
+        site = insn.addr
+        room = insn.length
+        if spec.name == "x86":
+            if room >= 5:
+                self._write(out, spec, site,
+                            Instruction("jmp", target - site), room)
+                stats["long"] += 1
+                return
+            if room >= 2:
+                lo, hi = spec.pcrel_ranges["jmp.s"]
+                slot = pool.take(5, lo=site + lo, hi=site + hi + 1)
+                if slot is not None:
+                    self._write(out, spec, site,
+                                Instruction("jmp.s", slot - site), room)
+                    out.write(slot, spec.encode(
+                        Instruction("jmp", target - slot, addr=slot)
+                    ))
+                    stats["hop"] += 1
+                    return
+            out.write(site, spec.encode(Instruction("trap")))
+            trap_map[site] = target
+            stats["trap"] += 1
+            return
+        # Fixed-length: a branch always fits, but range may not reach —
+        # and there is no CFG, hence no liveness, hence no scratch
+        # register for a long sequence: trap.
+        if spec.branch_reaches("jmp", site, target):
+            self._write(out, spec, site,
+                        Instruction("jmp", target - site), room)
+            stats["direct"] += 1
+            return
+        out.write(site, spec.encode(Instruction("trap")))
+        trap_map[site] = target
+        stats["trap"] += 1
+
+    @staticmethod
+    def _write(out, spec, site, insn, room):
+        encoded = spec.encode(insn.at(site))
+        nop = spec.encode(Instruction("nop"))
+        pad = room - len(encoded)
+        out.write(site, encoded + nop * (pad // len(nop)))

@@ -1,0 +1,124 @@
+"""The SRBI baseline (Dyninst-10.2-era rewriting; paper Sections 2, 8.1).
+
+Differences from incremental CFG patching, each one a Table 1/Table 3
+lever:
+
+* **placement**: a trampoline at *every* basic block — sufficient for
+  instrumentation integrity but wasteful; on ppc64 the resulting demand
+  for long trampolines exhausts scratch space and forces traps;
+* **call emulation** instead of RA translation: returns re-enter original
+  code at every call fall-through (bounce per return);
+* **weaker analysis**: no stack-spill tracking in jump-table slicing and
+  no layout-based indirect-tail-call heuristic — the coverage losses of
+  Table 3's SRBI rows;
+* **modeled defects** (documented stand-ins for the bugs the paper
+  found in Dyninst-10.2):
+
+  - C++-exception binaries are rejected: call emulation for exceptions
+    was unimplemented on ppc64le/aarch64 and broken on x86-64
+    ("does not correctly handle indirect calls through stack memory
+    locations");
+  - the runtime library's trap handler mishandles signal delivery under
+    sustained trap pressure (the 602.sgcc failure): after
+    :data:`TRAP_DELIVERY_BUDGET` trap signals the handler drops one,
+    crashing the process.
+"""
+
+from repro.analysis.construction import ConstructionOptions
+from repro.core.modes import RewriteMode
+from repro.core.placement import PlacementResult, Superblock
+from repro.core.rewriter import IncrementalRewriter
+from repro.core.runtime_lib import RuntimeLibrary
+from repro.util.errors import RewriteError
+
+#: Trap signals the modeled Dyninst-10.2 runtime survives before its
+#: signal-delivery bug fires.
+TRAP_DELIVERY_BUDGET = 512
+
+
+class SrbiRuntimeLibrary(RuntimeLibrary):
+    """Runtime library with the modeled signal-delivery defect."""
+
+    def __init__(self, *args, trap_budget=TRAP_DELIVERY_BUDGET, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trap_budget = trap_budget
+        self.traps_served = 0
+
+    @classmethod
+    def from_runtime(cls, runtime, trap_budget=TRAP_DELIVERY_BUDGET):
+        lib = cls(
+            ra_map=runtime.ra_map,
+            trap_map=runtime.trap_map,
+            dyn_map=runtime.dyn_map,
+            wrap_unwind=runtime.wrap_unwind,
+            go_hooks=runtime.go_hooks,
+            trap_budget=trap_budget,
+        )
+        return lib
+
+    def trap_target(self, loaded_pc):
+        self.traps_served += 1
+        if self.traps_served > self.trap_budget:
+            # Lost signal: the kernel sees an unhandled trap and the
+            # process dies (the paper's pre-fix 602.sgcc behaviour).
+            return None
+        return super().trap_target(loaded_pc)
+
+
+class SrbiRewriter(IncrementalRewriter):
+    """Structured binary editing with per-block trampolines."""
+
+    # No scratch-block analysis: unused superblock bytes are not reused
+    # (that insight is the paper's contribution), and the legacy trap
+    # mapping costs ~96 bytes per trap trampoline.
+    pool_leftovers = False
+    trap_map_entry_pad = 80
+
+    def __init__(self, instrumentation=None, scorch_original=False,
+                 trap_budget=TRAP_DELIVERY_BUDGET, cfg_hook=None):
+        super().__init__(
+            mode=RewriteMode.DIR,
+            instrumentation=instrumentation,
+            construction_options=ConstructionOptions(
+                track_spills=False,
+                tail_call_heuristic=False,
+            ),
+            scorch_original=scorch_original,
+            call_emulation=True,
+            cfg_hook=cfg_hook,
+        )
+        self.trap_budget = trap_budget
+
+    def _pre_checks(self, binary, cfg):
+        if binary.landing_pads:
+            raise RewriteError(
+                "SRBI call emulation does not correctly support C++ "
+                "exceptions (unimplemented on ppc64le/aarch64; broken "
+                "indirect-call handling on x86-64)"
+            )
+
+    def _compute_placement(self, cfg, cfl):
+        """A trampoline at every basic block of every relocated function.
+
+        No scratch blocks exist under this strategy (every block gets a
+        trampoline), so the pool is only padding + dead sections."""
+        result = PlacementResult()
+        for fcfg in cfg.sorted_functions():
+            if not fcfg.ok or fcfg.is_runtime_support:
+                continue
+            if fcfg.entry not in cfl.relocated:
+                continue
+            cfl_blocks = set(fcfg.blocks)
+            result.cfl_by_function[fcfg.name] = cfl_blocks
+            for block in fcfg.sorted_blocks():
+                if block.size > 0:
+                    result.superblocks.append(
+                        Superblock(fcfg.name, block.start, block.end)
+                    )
+        return result
+
+    def runtime_library(self, rewritten):
+        base = RuntimeLibrary.from_binary(rewritten)
+        return SrbiRuntimeLibrary.from_runtime(
+            base, trap_budget=self.trap_budget
+        )

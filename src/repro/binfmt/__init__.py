@@ -1,0 +1,51 @@
+"""Synthetic ELF-like binary format: sections, symbols, relocations,
+unwind metadata and the :class:`~repro.binfmt.binary.Binary` container."""
+
+from repro.binfmt.binary import (
+    Binary,
+    DEFAULT_BASE,
+    EXEC,
+    PIE,
+    SHLIB,
+    make_alloc_section,
+)
+from repro.binfmt.relocations import LinkReloc, R_ABS64, R_RELATIVE, Relocation
+from repro.binfmt.sections import ALLOC, EXEC as SEC_EXEC, Section, WRITE
+from repro.binfmt.symbols import FUNC, GLOBAL, LOCAL, OBJECT, Symbol, SymbolTable
+from repro.binfmt.unwind import (
+    FuncRange,
+    LandingPad,
+    RA_IN_LR,
+    RA_ON_STACK,
+    UnwindRecipe,
+    UnwindTable,
+)
+
+__all__ = [
+    "Binary",
+    "DEFAULT_BASE",
+    "EXEC",
+    "PIE",
+    "SHLIB",
+    "make_alloc_section",
+    "Relocation",
+    "LinkReloc",
+    "R_RELATIVE",
+    "R_ABS64",
+    "Section",
+    "ALLOC",
+    "SEC_EXEC",
+    "WRITE",
+    "Symbol",
+    "SymbolTable",
+    "FUNC",
+    "OBJECT",
+    "GLOBAL",
+    "LOCAL",
+    "UnwindRecipe",
+    "UnwindTable",
+    "LandingPad",
+    "FuncRange",
+    "RA_ON_STACK",
+    "RA_IN_LR",
+]

@@ -1,0 +1,52 @@
+"""Relocation entries.
+
+Two families, mirroring the paper's Table 1 distinction:
+
+* **Run-time relocations** (:class:`Relocation`) — what PIE/shared objects
+  carry in ``.rela.dyn``.  The loader applies them at load time:
+  ``R_RELATIVE`` writes ``load_bias + addend`` at ``where``.  Egalito and
+  RetroWrite *require* these; incremental CFG patching merely uses them
+  when present.
+
+* **Link-time relocations** (:class:`LinkReloc`) — normally discarded by
+  the linker, retained only when the program is linked with ``-Wl,-q``.
+  BOLT requires them to reorder functions; our BOLT baseline enforces
+  that, and the toolchain only emits them when a workload is built with
+  ``emit_link_relocs=True``.
+"""
+
+from dataclasses import dataclass
+
+#: *where = load_bias + addend (PIE/shared objects)
+R_RELATIVE = "RELATIVE"
+#: *where = absolute value (position-dependent; resolved at link time but
+#: the entry is retained so analyses can consult it)
+R_ABS64 = "ABS64"
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """A run-time relocation: patch ``size`` bytes at address ``where``."""
+
+    where: int
+    kind: str
+    addend: int
+    size: int = 8
+
+    def value_for_bias(self, bias):
+        """Value the loader writes for a given load bias."""
+        if self.kind == R_RELATIVE:
+            return bias + self.addend
+        if self.kind == R_ABS64:
+            return self.addend
+        raise ValueError(f"unknown relocation kind {self.kind}")
+
+
+@dataclass(frozen=True)
+class LinkReloc:
+    """A link-time relocation: instruction/data at ``site`` references
+    ``symbol`` (+ ``addend``)."""
+
+    site: int
+    symbol: str
+    addend: int = 0

@@ -1,0 +1,82 @@
+"""Symbols of the synthetic binary format."""
+
+import bisect
+from dataclasses import dataclass, field
+
+FUNC = "FUNC"
+OBJECT = "OBJECT"
+
+GLOBAL = "GLOBAL"
+LOCAL = "LOCAL"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named address.
+
+    ``version`` models ELF symbol versioning (``name@@VERSION``), which the
+    paper notes broke Egalito on ``libcuda.so``; the IR-lowering baseline
+    here refuses binaries whose dynamic symbols carry versions.
+    """
+
+    name: str
+    addr: int
+    size: int = 0
+    kind: str = FUNC
+    binding: str = GLOBAL
+    version: str = field(default=None)
+
+    @property
+    def end(self):
+        return self.addr + self.size
+
+    def contains(self, addr):
+        return self.addr <= addr < self.end
+
+
+class SymbolTable:
+    """Symbols indexed by name and by address."""
+
+    def __init__(self, symbols=()):
+        self._symbols = []
+        self._by_name = {}
+        for sym in symbols:
+            self.add(sym)
+
+    def add(self, symbol):
+        self._symbols.append(symbol)
+        self._by_name[symbol.name] = symbol
+
+    def __iter__(self):
+        return iter(self._symbols)
+
+    def __len__(self):
+        return len(self._symbols)
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def get(self, name, default=None):
+        return self._by_name.get(name, default)
+
+    def __getitem__(self, name):
+        return self._by_name[name]
+
+    def functions(self):
+        """All function symbols, sorted by address."""
+        return sorted(
+            (s for s in self._symbols if s.kind == FUNC),
+            key=lambda s: s.addr,
+        )
+
+    def function_at(self, addr):
+        """The function symbol whose range covers ``addr``, or None."""
+        funcs = self.functions()
+        starts = [f.addr for f in funcs]
+        idx = bisect.bisect_right(starts, addr) - 1
+        if idx >= 0 and funcs[idx].contains(addr):
+            return funcs[idx]
+        return None
+
+    def copy(self):
+        return SymbolTable(self._symbols)

@@ -1,0 +1,158 @@
+"""Unwind metadata: the synthetic analogue of ``.eh_frame`` / Go's pclntab.
+
+The paper's return-address translation (Section 6) exists so that this
+metadata — which describes the *original* binary — keeps working after
+rewriting, without the DWARF-surgery that BOLT performs.  We therefore keep
+it structured and simple, but still serialize it into real section bytes so
+that binary sizes account for it and so a binary round-trips through
+``to_bytes``/``from_bytes`` losslessly.
+"""
+
+import struct
+from dataclasses import dataclass
+
+#: ra_rule kinds
+RA_ON_STACK = 0   # return address at [sp + ra_offset]
+RA_IN_LR = 1      # return address lives in the link register (leaf frames)
+
+
+@dataclass(frozen=True)
+class UnwindRecipe:
+    """How to unwind one PC range.
+
+    Valid for PCs in ``[start, end)``: the caller's stack pointer is
+    ``sp + frame_size`` and the return address is found per ``ra_rule``
+    (:data:`RA_ON_STACK` at ``sp + ra_offset``, or :data:`RA_IN_LR`).
+
+    ``saved_regs`` are DWARF-style register rules: callee-saved registers
+    this frame spilled, as ``(reg, sp_offset)`` pairs; the unwinder
+    restores them when it pops the frame (this is what keeps caller
+    locals alive across a C++ ``throw``).
+    """
+
+    start: int
+    end: int
+    frame_size: int
+    ra_rule: int
+    ra_offset: int = 0
+    saved_regs: tuple = ()
+
+    _FMT = "<QQiBiB"
+    _HEAD_SIZE = struct.calcsize(_FMT)
+    _REG_FMT = "<Bi"
+    _REG_SIZE = struct.calcsize(_REG_FMT)
+
+    def covers(self, pc):
+        return self.start <= pc < self.end
+
+    @property
+    def packed_size(self):
+        return self._HEAD_SIZE + len(self.saved_regs) * self._REG_SIZE
+
+    def pack(self):
+        head = struct.pack(
+            self._FMT, self.start, self.end,
+            self.frame_size, self.ra_rule, self.ra_offset,
+            len(self.saved_regs),
+        )
+        return head + b"".join(
+            struct.pack(self._REG_FMT, reg, off)
+            for reg, off in self.saved_regs
+        )
+
+    @classmethod
+    def unpack(cls, data, offset=0):
+        start, end, frame, rule, ra_off, nregs = struct.unpack_from(
+            cls._FMT, data, offset
+        )
+        pos = offset + cls._HEAD_SIZE
+        saved = []
+        for _ in range(nregs):
+            saved.append(struct.unpack_from(cls._REG_FMT, data, pos))
+            pos += cls._REG_SIZE
+        return cls(start, end, frame, rule, ra_off, tuple(saved))
+
+
+@dataclass(frozen=True)
+class LandingPad:
+    """A C++ exception call-site table entry.
+
+    If an in-flight exception unwinds through a return address inside
+    ``[call_site_start, call_site_end)``, control transfers to ``handler``
+    in that frame (the catch block).
+    """
+
+    call_site_start: int
+    call_site_end: int
+    handler: int
+
+    _FMT = "<QQQ"
+    PACKED_SIZE = struct.calcsize(_FMT)
+
+    def covers(self, pc):
+        return self.call_site_start <= pc < self.call_site_end
+
+    def pack(self):
+        return struct.pack(
+            self._FMT, self.call_site_start, self.call_site_end, self.handler
+        )
+
+    @classmethod
+    def unpack(cls, data, offset=0):
+        return cls(*struct.unpack_from(cls._FMT, data, offset))
+
+
+@dataclass(frozen=True)
+class FuncRange:
+    """One entry of the Go-style runtime function table (pclntab).
+
+    Go's ``runtime.findfunc`` resolves a PC to one of these; a PC that
+    resolves to none aborts the runtime with "unknown pc" — the failure
+    return-address translation prevents.
+    """
+
+    start: int
+    end: int
+    name: str
+
+    def covers(self, pc):
+        return self.start <= pc < self.end
+
+
+class UnwindTable:
+    """All unwind recipes of a binary, addressable by PC."""
+
+    def __init__(self, recipes=()):
+        self.recipes = sorted(recipes, key=lambda r: r.start)
+
+    def recipe_for(self, pc):
+        """The recipe covering ``pc``, or None."""
+        for recipe in self.recipes:
+            if recipe.covers(pc):
+                return recipe
+        return None
+
+    def add(self, recipe):
+        self.recipes.append(recipe)
+        self.recipes.sort(key=lambda r: r.start)
+
+    def __iter__(self):
+        return iter(self.recipes)
+
+    def __len__(self):
+        return len(self.recipes)
+
+    def pack(self):
+        return b"".join(r.pack() for r in self.recipes)
+
+    @classmethod
+    def unpack(cls, data):
+        recipes = []
+        pos = 0
+        while pos < len(data):
+            recipe = UnwindRecipe.unpack(data, pos)
+            pos += recipe.packed_size
+            recipes.append(recipe)
+        if pos != len(data):
+            raise ValueError("corrupt unwind table")
+        return cls(recipes)

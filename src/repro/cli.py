@@ -1,0 +1,263 @@
+"""Command-line interface: build, rewrite, run, and reproduce.
+
+Examples::
+
+    python -m repro list
+    python -m repro rewrite --workload 602.sgcc_s --arch x86 \\
+        --mode func-ptr --scorch -o sgcc.rw
+    python -m repro run sgcc.rw
+    python -m repro layout sgcc.rw
+    python -m repro table3 --arch x86
+    python -m repro experiment docker
+"""
+
+import argparse
+import sys
+
+from repro.core import (
+    EmptyInstrumentation,
+    CountingInstrumentation,
+    RewriteMode,
+    RuntimeLibrary,
+    rewrite_binary,
+    section_layout_report,
+)
+from repro.binfmt import Binary
+from repro.machine import run_binary
+from repro.toolchain.workloads import (
+    SPEC_BENCHMARK_NAMES,
+    build_workload,
+    docker_like,
+    firefox_like,
+    libcuda_like,
+    spec_workload,
+)
+from repro.util.errors import ReproError
+
+_APP_WORKLOADS = {
+    "libxul_like": firefox_like,
+    "docker_like": docker_like,
+    "libcuda_like": libcuda_like,
+}
+
+
+def _load_workload(name, arch, pie=False):
+    if name in _APP_WORKLOADS:
+        if arch != "x86":
+            # As in the paper: the browser/Docker/driver experiments run
+            # on the x86-64 machine (Section A.3.2).
+            raise SystemExit(f"{name} is an x86-only workload")
+        return _APP_WORKLOADS[name](arch)
+    if name in SPEC_BENCHMARK_NAMES:
+        return build_workload(spec_workload(name, arch, pie=pie), arch)
+    raise SystemExit(
+        f"unknown workload {name!r}; see `python -m repro list`"
+    )
+
+
+def cmd_list(args):
+    print("SPEC CPU 2017-like suite:")
+    for name in SPEC_BENCHMARK_NAMES:
+        print(f"  {name}")
+    print("applications:")
+    for name in _APP_WORKLOADS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_build(args):
+    program, binary = _load_workload(args.workload, args.arch, args.pie)
+    with open(args.output, "wb") as f:
+        f.write(binary.to_bytes())
+    print(f"{binary.name}: {len(binary.function_symbols())} function "
+          f"symbols, {binary.loaded_size():,} bytes loaded "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_rewrite(args):
+    program, binary = _load_workload(args.workload, args.arch, args.pie)
+    instrumentation = (CountingInstrumentation()
+                       if args.instrument == "counting"
+                       else EmptyInstrumentation())
+    try:
+        rewritten, report, runtime = rewrite_binary(
+            binary, RewriteMode.parse(args.mode),
+            instrumentation=instrumentation,
+            scorch_original=args.scorch,
+        )
+    except ReproError as exc:
+        print(f"rewrite refused: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "wb") as f:
+            f.write(rewritten.to_bytes())
+    print(f"mode          : {report.mode}")
+    print(f"coverage      : {report.coverage:.2%} "
+          f"({report.relocated_functions}/{report.total_functions} "
+          f"functions)")
+    print(f"size increase : {report.size_increase:+.1%}")
+    print(f"trampolines   : " + ", ".join(
+        f"{k}={v}" for k, v in report.trampolines.items() if v))
+    if report.failed_functions:
+        print(f"skipped       : " + ", ".join(
+            name for name, _ in report.failed_functions))
+    if args.output:
+        print(f"written       : {args.output}")
+    if args.run:
+        base = run_binary(binary)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        same = (result.exit_code, result.output) == (base.exit_code,
+                                                     base.output)
+        print(f"run           : {'identical behaviour' if same else 'DIVERGED'}, "
+              f"overhead {result.cycles / base.cycles - 1:+.2%}")
+        if not same:
+            return 1
+    return 0
+
+
+def cmd_run(args):
+    with open(args.binary, "rb") as f:
+        binary = Binary.from_bytes(f.read())
+    runtime = None
+    if "rewrite" in binary.metadata:
+        runtime = RuntimeLibrary.from_binary(binary)
+    result = run_binary(binary, runtime_lib=runtime)
+    for value in result.output:
+        print(value)
+    print(f"[exit {result.exit_code}, {result.icount:,} instructions, "
+          f"{result.cycles:,} cycles]", file=sys.stderr)
+    return 0
+
+
+def cmd_layout(args):
+    with open(args.binary, "rb") as f:
+        binary = Binary.from_bytes(f.read())
+    print(section_layout_report(binary))
+    return 0
+
+
+def cmd_table(args):
+    from repro.eval import spec2017, table1, table2, table3
+    if args.which == "1":
+        print(table1())
+    elif args.which == "2":
+        print(table2())
+    else:
+        benchmarks = (SPEC_BENCHMARK_NAMES if args.full
+                      else SPEC_BENCHMARK_NAMES[:6])
+        summaries, _ = spec2017(args.arch, benchmarks=benchmarks)
+        print(table3({args.arch: summaries}))
+    return 0
+
+
+def cmd_experiment(args):
+    from repro.eval import (
+        bolt_comparison,
+        diogenes_case_study,
+        docker_experiment,
+        failure_modes,
+        firefox_experiment,
+    )
+    if args.which == "firefox":
+        result = firefox_experiment()
+        for tool, run in result.tool_runs.items():
+            status = (f"overhead {run.overhead:+.2%}" if run.passed
+                      else f"FAILED ({run.error})")
+            print(f"{tool:<12} {status}")
+    elif args.which == "docker":
+        result = docker_experiment()
+        for tool, run in result.tool_runs.items():
+            status = (f"overhead {run.overhead:+.2%}" if run.passed
+                      else f"FAILED ({run.error})")
+            print(f"{tool:<12} {status}")
+    elif args.which == "bolt":
+        comp = bolt_comparison()
+        print(f"BOLT fn-reorder : {comp.bolt_fn_reorder_pass}"
+              f"/{comp.total} ({comp.bolt_fn_reorder_error})")
+        print(f"BOLT blk-reorder: {comp.bolt_blk_reorder_pass} pass, "
+              f"{comp.bolt_blk_reorder_corrupt} corrupted")
+        print(f"ours            : {comp.ours_fn_reorder_pass} and "
+              f"{comp.ours_blk_reorder_pass} of {comp.total}")
+    elif args.which == "diogenes":
+        result = diogenes_case_study()
+        print(f"mainstream: {result.mainstream_cycles:,} cycles "
+              f"({result.mainstream_traps} traps)")
+        print(f"ours      : {result.ours_cycles:,} cycles "
+              f"({result.ours_traps} traps)")
+        print(f"speedup   : {result.speedup:.1f}x")
+    else:
+        result = failure_modes()
+        print(f"report   : coverage {result.report_coverage:.0%}, "
+              f"correct={result.report_correct}")
+        print(f"overapprox: +{result.overapprox_trampolines - result.baseline_trampolines} "
+              f"trampolines, correct={result.overapprox_correct}")
+        print(f"underapprox: {result.underapprox_outcome}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental CFG Patching for Binary Rewriting "
+                    "(ASPLOS 2021) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads") \
+        .set_defaults(func=cmd_list)
+
+    p = sub.add_parser("build", help="build a workload binary")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--pie", action="store_true")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("rewrite", help="rewrite a workload binary")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--pie", action="store_true")
+    p.add_argument("--mode", default="jt",
+                   choices=[m.value for m in RewriteMode])
+    p.add_argument("--instrument", default="empty",
+                   choices=["empty", "counting"])
+    p.add_argument("--scorch", action="store_true",
+                   help="apply the strong rewrite test")
+    p.add_argument("--run", action="store_true",
+                   help="run original and rewritten, compare")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_rewrite)
+
+    p = sub.add_parser("run", help="run a (possibly rewritten) binary")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("layout",
+                       help="print a Figure-1-style section report")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("which", choices=["1", "2", "3"])
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--full", action="store_true",
+                   help="all 19 benchmarks (table 3)")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("which", choices=["firefox", "docker", "bolt",
+                                     "diogenes", "failure-modes"])
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

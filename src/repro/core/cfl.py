@@ -1,0 +1,155 @@
+"""Control-Flow Landing (CFL) block analysis (Section 4).
+
+A block is CFL when one of its incoming control-flow edges is *not*
+rewritten — i.e. execution can land there, in the original code, at run
+time.  Instrumentation integrity requires a trampoline on every path from
+a CFL block to an instrumented block; installing trampolines exactly at
+CFL blocks satisfies it (the paper's key observation), and every non-CFL
+block becomes scratch space.
+
+What is CFL depends on the mode — this is precisely how the incremental
+modes buy overhead reductions (Section 4.2):
+
+* jump-table target blocks are CFL in ``dir`` (tables unmodified) but not
+  in ``jt``/``func-ptr`` (tables cloned);
+* function entry blocks of address-taken functions are CFL unless
+  ``func-ptr`` rewrites the pointers;
+* call fall-through blocks are CFL under call emulation (the SRBI
+  baseline) but not under runtime RA translation;
+* landing pads (catch blocks) are always CFL: the unwinder dispatches to
+  original handler addresses;
+* entries reachable from *unrewritten* code — failed functions, runtime
+  support, the dynamic linker (exported symbols), the kernel (the entry
+  point) — are always CFL.
+"""
+
+from repro.analysis.cfg import JUMP_TABLE
+from repro.binfmt.symbols import GLOBAL
+from repro.core.modes import RewriteMode
+
+
+class CflAnalysis:
+    """Computes the per-function CFL block sets for one rewrite."""
+
+    def __init__(self, binary, cfg, mode, funcptrs=None,
+                 call_emulation=False, relocated=None,
+                 extra_cfl_points=None):
+        """``relocated``: set of function entries being relocated
+        (defaults to every analyzable, non-runtime-support function).
+        ``funcptrs``: FuncPtrAnalysis when available (required to *drop*
+        entry blocks from CFL in func-ptr mode).
+        ``extra_cfl_points``: {function name: block starts} for known
+        mid-function landing points (e.g. Go's entry+1 pointers when the
+        pointers themselves are not rewritten)."""
+        self.binary = binary
+        self.cfg = cfg
+        self.mode = mode
+        self.funcptrs = funcptrs
+        self.call_emulation = call_emulation
+        self.extra_cfl_points = extra_cfl_points or {}
+        if relocated is None:
+            relocated = {
+                f.entry for f in cfg
+                if f.ok and not f.is_runtime_support
+            }
+        self.relocated = relocated
+        self._entry_cfl = self._compute_entry_cfl()
+
+    # -- public ---------------------------------------------------------------
+
+    def cfl_blocks(self, fcfg):
+        """Block start addresses that are CFL in this function."""
+        cfl = set()
+        if fcfg.entry in self._entry_cfl and fcfg.entry in fcfg.blocks:
+            cfl.add(fcfg.entry)
+        cfl |= set(fcfg.landing_pad_blocks)
+        for point in self.extra_cfl_points.get(fcfg.name, ()):
+            if point in fcfg.blocks:
+                cfl.add(point)
+        # Blocks with an incoming edge of unknown origin (e.g. an
+        # over-approximated edge from analysis, Section 4.3) must be
+        # treated as landing sites: an unnecessary trampoline at worst.
+        for block in fcfg.sorted_blocks():
+            for kind, src in block.preds:
+                if src is None and kind != "landing_pad":
+                    cfl.add(block.start)
+                    break
+        if not self.mode.rewrites_jump_tables:
+            for table in fcfg.jump_tables:
+                for target in table.targets:
+                    if target in fcfg.blocks:
+                        cfl.add(target)
+        if self.call_emulation:
+            for block in fcfg.sorted_blocks():
+                term = block.terminator
+                if term is not None and term.is_call \
+                        and block.end in fcfg.blocks:
+                    cfl.add(block.end)
+        return cfl
+
+    def entry_is_cfl(self, fcfg):
+        return fcfg.entry in self._entry_cfl
+
+    # -- internals -----------------------------------------------------------------
+
+    def _address_taken_entries(self):
+        taken = set()
+        if self.funcptrs is not None:
+            for d in self.funcptrs.data_defs:
+                taken.add(d.target)
+            for d in self.funcptrs.code_defs:
+                taken.add(d.target)
+        else:
+            # Without pointer analysis, any value in data that looks like
+            # a function entry must be assumed address-taken.
+            entries = {f.entry for f in self.cfg}
+            for reloc in self.binary.relocations:
+                if reloc.addend in entries:
+                    taken.add(reloc.addend)
+        # Indirect *tail-call* targets are function pointers too; without
+        # rewriting, those entries stay reachable from original-space
+        # values, which the data scan above already covers.
+        return taken
+
+    def _compute_entry_cfl(self):
+        cfl_entries = set()
+        by_entry = {f.entry: f for f in self.cfg}
+
+        # (1) Reachable from code we do not rewrite.  For *skipped* (but
+        #     successfully analyzed) functions the call sites are known
+        #     exactly.  For *failed* functions they are not — their
+        #     analysis is incomplete by definition — so the paper's
+        #     blanket rule applies: "we always install trampolines at the
+        #     entry of instrumented functions" (Section 4.3).
+        any_failed = False
+        for fcfg in self.cfg:
+            if not fcfg.ok:
+                any_failed = True
+                continue
+            if fcfg.is_runtime_support or fcfg.entry in self.relocated:
+                continue
+            for _, target in fcfg.call_sites:
+                cfl_entries.add(target)
+            cfl_entries |= set(fcfg.tail_targets)
+        if any_failed:
+            cfl_entries |= set(self.relocated)
+
+        # (2) The process entry point and exported (dynamic) symbols.
+        cfl_entries.add(self.binary.entry)
+        for sym in self.binary.function_symbols():
+            if sym.binding == GLOBAL:
+                cfl_entries.add(sym.addr)
+
+        # (3) Address-taken functions.  With *precise* pointer analysis
+        #     the address-taken set is exact (and func-ptr mode empties
+        #     it by rewriting the definitions).  With imprecise analysis
+        #     — runtime-built tables like Go's vtab — any entry may be a
+        #     pointer target, so every relocated entry must be CFL.
+        if self.funcptrs is None or not self.funcptrs.precise:
+            cfl_entries |= set(self.relocated)
+        elif not self.mode.rewrites_function_pointers:
+            cfl_entries |= self._address_taken_entries()
+
+        # Trampolines only make sense in functions being relocated.
+        return {e for e in cfl_entries
+                if e in by_entry and e in self.relocated}

@@ -1,0 +1,194 @@
+"""Instrumentation specifications.
+
+Dyninst-style: the user picks instrumentation points (here: basic blocks,
+optionally filtered) and provides a snippet per point.  Snippets are
+emitted *before* the block's relocated instructions and must preserve all
+architectural state (they save/restore what they use).
+
+Two built-ins cover the paper's evaluation:
+
+* :class:`EmptyInstrumentation` — the paper's measurement vehicle
+  ("instruments every basic block with empty instrumentation, which will
+  trigger relocating all functions", Section 8);
+* :class:`CountingInstrumentation` — per-block execution counters in a
+  dedicated writable section; used by the correctness tests and the
+  block-coverage / execution-count example tools.
+"""
+
+from repro.isa.insn import Mem
+from repro.isa.registers import LR, R14, R15, SP
+
+
+class Instrumentation:
+    """Base class: decides which blocks are instrumented and what code
+    each receives."""
+
+    #: name used in reports
+    name = "custom"
+
+    def wants_function(self, fcfg):
+        """Instrument (and hence relocate) this function at all?"""
+        return True
+
+    def wants_block(self, fcfg, block):
+        """Instrument this particular block?"""
+        return True
+
+    def prepare(self, binary, cfg):
+        """Called once before rewriting; may allocate output-binary state
+        (e.g. a counter section).  Returns a list of
+        ``(section_name, size, writable)`` extra sections to create."""
+        return []
+
+    def emit(self, emitter, fcfg, block):
+        """Emit the snippet for one block via the arch-aware emitter."""
+
+
+class EmptyInstrumentation(Instrumentation):
+    """Empty snippets at every block (forces full relocation)."""
+
+    name = "empty"
+
+    def emit(self, emitter, fcfg, block):
+        pass
+
+
+class CallOutCountingInstrumentation(Instrumentation):
+    """counter[block] += 1 via a *function call* into an instrumentation
+    library routine, instead of inlined increments.
+
+    This is the paper's Section 10 observation: Dyninst's sample
+    execution-count tool was slow not because of the rewriting
+    infrastructure but because it called into an instrumentation library
+    per event, while Egalito's inlined the increment.  Comparing this
+    class against :class:`CountingInstrumentation` on the *same*
+    rewriter separates tool-usage overhead from infrastructure overhead.
+    """
+
+    name = "callout-counting"
+
+    def __init__(self, function_filter=None):
+        self.inline = CountingInstrumentation(function_filter)
+        self._routine_label = None
+
+    def wants_function(self, fcfg):
+        return self.inline.wants_function(fcfg)
+
+    def prepare(self, binary, cfg):
+        return self.inline.prepare(binary, cfg)
+
+    @property
+    def slot_of(self):
+        return self.inline.slot_of
+
+    @property
+    def section_addr(self):
+        return self.inline.section_addr
+
+    @section_addr.setter
+    def section_addr(self, value):
+        self.inline.section_addr = value
+
+    def counter_addr(self, fn_name, block_start):
+        return self.inline.counter_addr(fn_name, block_start)
+
+    def emit(self, emitter, fcfg, block):
+        slot = self.inline.slot_of.get((fcfg.name, block.start))
+        if slot is None:
+            return
+        stream = emitter.stream
+        if self._routine_label is None:
+            self._routine_label = self._emit_routine(emitter)
+        # Save scratch state (including the link register on the fixed
+        # architectures: the snippet may run before a prologue spills
+        # it), pass the counter cell in R15, call the library routine —
+        # one call+return per executed block.
+        link = not emitter.spec.call_pushes_return_address
+        stream.emit("addi", SP, SP, -32)
+        stream.emit("st64", R14, Mem(SP, 0))
+        stream.emit("st64", R15, Mem(SP, 8))
+        if link:
+            stream.emit("st64", LR, Mem(SP, 16))
+        emitter.emit_section_addr(R15, ".icounters", 8 * slot)
+        stream.emit("call", 0, target=self._routine_label)
+        if link:
+            stream.emit("ld64", LR, Mem(SP, 16))
+        stream.emit("ld64", R14, Mem(SP, 0))
+        stream.emit("ld64", R15, Mem(SP, 8))
+        stream.emit("addi", SP, SP, 32)
+
+    def _emit_routine(self, emitter):
+        """The instrumentation-library routine, emitted once into
+        .instr: *counter_cell += 1 (cell address in R15)."""
+        from repro.toolchain.asm import Label
+
+        stream = emitter.stream
+        label = Label("instr_lib_count")
+        skip = Label("instr_lib_skip")
+        stream.emit("jmp", 0, target=skip)
+        stream.label(label)
+        stream.emit("ld64", R14, Mem(R15, 0))
+        stream.emit("addi", R14, R14, 1)
+        stream.emit("st64", R14, Mem(R15, 0))
+        stream.emit("ret")
+        stream.label(skip)
+        return label
+
+
+class CountingInstrumentation(Instrumentation):
+    """counter[block] += 1 at every instrumented block.
+
+    Counters live in a new ``.icounters`` section of the rewritten
+    binary; :meth:`counter_addr` exposes the cell for a block so tests
+    and tools can read the values back from emulated memory.
+    """
+
+    name = "counting"
+
+    def __init__(self, function_filter=None):
+        self.function_filter = function_filter
+        self.slot_of = {}
+        self.section_addr = None
+
+    def wants_function(self, fcfg):
+        if self.function_filter is None:
+            return True
+        return fcfg.name in self.function_filter
+
+    def prepare(self, binary, cfg):
+        index = 0
+        for fcfg in cfg.sorted_functions():
+            if not fcfg.ok or fcfg.is_runtime_support:
+                continue
+            if not self.wants_function(fcfg):
+                continue
+            for start in sorted(fcfg.blocks):
+                self.slot_of[(fcfg.name, start)] = index
+                index += 1
+        size = max(8 * index, 8)
+        return [(".icounters", size, True)]
+
+    def counter_addr(self, fn_name, block_start):
+        """Original-space address of the counter cell for a block."""
+        if self.section_addr is None:
+            raise RuntimeError("counters not laid out yet")
+        return self.section_addr + 8 * self.slot_of[(fn_name, block_start)]
+
+    def emit(self, emitter, fcfg, block):
+        slot = self.slot_of.get((fcfg.name, block.start))
+        if slot is None:
+            return
+        stream = emitter.stream
+        # Save the two scratch registers below the stack pointer, bump
+        # the counter, restore.  Never faults, never throws: the frame
+        # and unwind state are untouched at any point a snippet runs.
+        stream.emit("addi", SP, SP, -16)
+        stream.emit("st64", R14, Mem(SP, 0))
+        stream.emit("st64", R15, Mem(SP, 8))
+        emitter.emit_section_addr(R15, ".icounters", 8 * slot)
+        stream.emit("ld64", R14, Mem(R15, 0))
+        stream.emit("addi", R14, R14, 1)
+        stream.emit("st64", R14, Mem(R15, 0))
+        stream.emit("ld64", R14, Mem(SP, 0))
+        stream.emit("ld64", R15, Mem(SP, 8))
+        stream.emit("addi", SP, SP, 16)

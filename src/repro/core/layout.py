@@ -1,0 +1,85 @@
+"""Output-binary section arrangement (Section 3, Figure 1).
+
+The rewritten binary keeps every original section in place (``.text``
+becomes the trampoline field), appends the new code and data sections,
+and *moves* the dynamic-linking sections so they can grow — renaming the
+dead originals, whose bytes become trampoline scratch space::
+
+    .note / .text / .rodata / .data        (originals, patched in place)
+    .dynsym_old / .dynstr_old / .rela_dyn_old   (dead -> scratch space)
+    .dynsym / .dynstr / .rela_dyn          (moved + enlarged copies)
+    .icounters?                            (instrumentation data)
+    .instr                                 (relocated code + clones)
+    .ra_map / .trap_map                    (runtime-library inputs)
+"""
+
+from repro.binfmt.sections import Section
+
+#: Sections the rewriter moves and re-creates with growth room.
+DYNAMIC_SECTIONS = (".dynsym", ".dynstr", ".rela_dyn")
+
+#: Growth factor for the moved dynamic sections ("enough space to hold
+#: new dynamic symbols and relocation entries" for instrumentation-
+#: library calls).
+DYNAMIC_GROWTH = 0.5
+
+
+def prepare_output(binary, extra_sections=()):
+    """Clone the input and arrange the output skeleton.
+
+    Returns ``(out, dead_ranges, extra_addrs)`` where ``dead_ranges`` are
+    the renamed dead dynamic sections' (start, end) byte ranges (scratch
+    pool source 3) and ``extra_addrs`` maps each extra section name to
+    its assigned address.
+    """
+    out = binary.clone()
+    dead_ranges = []
+    for name in DYNAMIC_SECTIONS:
+        old = out.get_section(name)
+        if old is None:
+            continue
+        old.name = name + "_old"
+        dead_ranges.append((old.addr, old.end))
+        grown = bytes(old.data) + b"\0" * max(
+            16, int(len(old.data) * DYNAMIC_GROWTH)
+        )
+        addr = out.next_free_addr(16)
+        out.add_section(Section(name, addr, grown, ("ALLOC",), 8))
+    extra_addrs = {}
+    for name, size, writable in extra_sections:
+        addr = out.next_free_addr(16)
+        flags = ("ALLOC", "WRITE") if writable else ("ALLOC",)
+        out.add_section(Section(name, addr, b"\0" * size, flags, 8))
+        extra_addrs[name] = addr
+    return out, dead_ranges, extra_addrs
+
+
+def section_layout_report(binary):
+    """Figure-1-style description of a (rewritten) binary's sections."""
+    roles = {
+        ".note": "loader metadata",
+        ".text": "original code; now holds trampolines into .instr",
+        ".rodata": "read-only data (original jump tables untouched)",
+        ".data": "writable data (function-pointer cells, possibly "
+                 "redirected)",
+        ".dynsym_old": "dead original - trampoline scratch space",
+        ".dynstr_old": "dead original - trampoline scratch space",
+        ".rela_dyn_old": "dead original - trampoline scratch space",
+        ".dynsym": "moved + enlarged for instrumentation-library symbols",
+        ".dynstr": "moved + enlarged",
+        ".rela_dyn": "moved + enlarged",
+        ".icounters": "instrumentation counters",
+        ".instr": "relocated code + instrumentation + cloned jump tables",
+        ".ra_map": "relocated return address -> original (Section 6)",
+        ".trap_map": "trap trampoline site -> relocated target",
+        ".eh_frame": "original unwind info, NOT modified (Section 6)",
+        ".gopclntab": "original Go function table, NOT modified",
+    }
+    lines = []
+    for section in binary.sections:
+        role = roles.get(section.name, "")
+        lines.append(
+            f"{section.name:<14} [{section.addr:#9x},{section.end:#9x}) "
+            f"{section.size:>8} B  {role}"
+        )
+    return "\n".join(lines)

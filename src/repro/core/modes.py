@@ -1,0 +1,35 @@
+"""The three incremental rewriting modes (Sections 3 and 5).
+
+Each mode rewrites strictly more control flow than the previous one, at
+the price of stronger binary-analysis assumptions:
+
+* ``dir``      — direct control flow only;
+* ``jt``       — + jump tables (cloning; tolerates over-approximation);
+* ``func-ptr`` — + function pointers (requires precise identification).
+"""
+
+import enum
+
+
+class RewriteMode(enum.Enum):
+    DIR = "dir"
+    JT = "jt"
+    FUNC_PTR = "func-ptr"
+
+    @property
+    def rewrites_jump_tables(self):
+        return self in (RewriteMode.JT, RewriteMode.FUNC_PTR)
+
+    @property
+    def rewrites_function_pointers(self):
+        return self is RewriteMode.FUNC_PTR
+
+    @classmethod
+    def parse(cls, name):
+        for mode in cls:
+            if mode.value == name:
+                return mode
+        raise ValueError(f"unknown rewrite mode {name!r}")
+
+    def __str__(self):
+        return self.value

@@ -1,0 +1,585 @@
+"""Relocated-code emission: original functions -> the ``.instr`` section.
+
+Responsibilities (Sections 3, 5 and 6 of the paper):
+
+* translate every instruction so its semantics are unchanged at the new
+  location — direct branches/calls retargeted through labels,
+  PC-relative data references re-materialized per architecture (TOC
+  pairs on ppc64, page pairs on aarch64), link-register conventions
+  preserved;
+* insert instrumentation snippets at block entries;
+* re-emit resolved jump-table dispatches against **cloned** tables
+  (``jt``/``func-ptr`` modes) whose entries solve ``tar(x) = y`` for the
+  relocated targets; originals stay untouched so over-approximated
+  entries are harmless (Section 5.1, Failure 3);
+* record the return-address map: relocated call-return/unwind points ->
+  original addresses (Section 6);
+* emit branch *veneers* on the fixed-length architectures when a direct
+  call/jump cannot be proven to reach its target (range pressure is the
+  whole reason Section 7 exists);
+* optionally emit call emulation instead of real calls (the SRBI
+  baseline's strategy, Section 2.3).
+"""
+
+from repro.isa.archspec import FixedLengthSpec
+from repro.isa.insn import Instruction, Mem
+from repro.isa.registers import CTR, LR, R15, TOC
+from repro.toolchain.asm import Label, Stream
+from repro.util.errors import EncodingError, RewriteError
+from repro.util.ints import sign_extend
+
+
+def _split_hi_lo(offset):
+    lo = ((offset + 0x8000) & 0xFFFF) - 0x8000
+    hi = (offset - lo) >> 16
+    return hi, lo
+
+
+class _FlexBranchChunk:
+    """Fixed-length call/jmp that falls back to a veneer slot when the
+    direct displacement does not fit the branch range."""
+
+    def __init__(self, spec, mnemonic, target, slot):
+        self.spec = spec
+        self.mnemonic = mnemonic
+        self.target = target
+        self.slot = slot
+
+    def size(self, spec, addr):
+        return 4
+
+    def render(self, spec, addr, out):
+        disp = self.target.resolved() - addr
+        lo, hi = spec.pcrel_ranges[self.mnemonic]
+        if not (lo <= disp <= hi):
+            disp = self.slot.resolved() - addr
+        out += spec.encode(Instruction(self.mnemonic, disp, addr=addr))
+
+
+class _VeneerSlotChunk:
+    """A long-range jump to ``target`` (Table 2 long form), reachable by
+    the short branches of one relocated function."""
+
+    def __init__(self, spec, target, toc_base):
+        self.spec = spec
+        self.target = target
+        self.toc_base = toc_base
+
+    def size(self, spec, addr):
+        return 16 if spec.name == "ppc64" else 12
+
+    def render(self, spec, addr, out):
+        target = self.target.resolved()
+        if spec.name == "ppc64":
+            hi, lo = _split_hi_lo(target - self.toc_base)
+            seq = [
+                Instruction("addis", R15, TOC, hi),
+                Instruction("addi", R15, R15, lo),
+                Instruction("mov", CTR, R15),
+                Instruction("jmpr", CTR),
+            ]
+        else:
+            page_hi = (target >> 12) - (addr >> 12)
+            seq = [
+                Instruction("adrp", R15, page_hi, addr=addr),
+                Instruction("addi", R15, R15, target & 0xFFF),
+                Instruction("jmpr", R15),
+            ]
+        cur = addr
+        for insn in seq:
+            out += spec.encode(insn.at(cur))
+            cur += 4
+
+
+class RelocEmitter:
+    """Arch-aware emission helpers handed to instrumentation snippets."""
+
+    def __init__(self, stream, spec, pie, toc_anchor, section_labels):
+        self.stream = stream
+        self.spec = spec
+        self.pie = pie
+        self.toc_anchor = toc_anchor
+        self.section_labels = section_labels
+
+    def emit_addr_label(self, reg, label):
+        """reg = &label, position-independent where required."""
+        name = self.spec.name
+        if name == "x86":
+            if self.pie:
+                self.stream.emit("leapc", reg, 0, target=label)
+            else:
+                self.stream.abs_insn("movi", (reg, 0), 1, label)
+        elif name == "ppc64":
+            self.stream.toc_addr(reg, label, self.toc_anchor)
+        else:
+            self.stream.page_addr(reg, label)
+
+    def emit_section_addr(self, reg, section_name, offset=0):
+        base = self.section_labels[section_name]
+        label = Label(f"{section_name}+{offset:#x}")
+        label.addr = base + offset
+        self.emit_addr_label(reg, label)
+
+
+class RelocationResult:
+    """Everything the rewriter needs after relocation."""
+
+    def __init__(self):
+        self.stream = None
+        self.block_labels = {}       # orig block start -> Label
+        self.point_labels = {}       # orig insn addr -> Label (ra sites &c)
+        self.ra_pairs = []           # (Label, original address)
+        self.clones = []             # (JumpTable, clone Label)
+        self.fn_emit_order = {}      # fn entry -> [block starts, emitted]
+        self.fn_end_labels = {}      # fn entry -> Label after the function
+        self.size = 0
+
+    def new_addr_of_block(self, start):
+        return self.block_labels[start].resolved()
+
+    def new_addr_of_point(self, addr):
+        return self.point_labels[addr].resolved()
+
+    def ra_map(self):
+        """Resolved {relocated addr -> original addr} (original space)."""
+        return {label.resolved(): orig for label, orig in self.ra_pairs}
+
+
+class Relocator:
+    """Emits relocated functions into a fresh ``.instr`` stream."""
+
+    def __init__(self, binary, spec, cfg, mode, instrumentation,
+                 section_labels=None, call_emulation=False,
+                 special_points=(), funcptr_code_defs=(),
+                 dynamic_translation=False, function_alignment=None):
+        self.binary = binary
+        self.spec = spec
+        self.cfg = cfg
+        self.mode = mode
+        self.instrumentation = instrumentation
+        self.call_emulation = call_emulation
+        #: Multiverse-style: indirect transfers and returns become calls
+        #: to the runtime translation routine (Section 2.2)
+        self.dynamic_translation = dynamic_translation
+        self.function_alignment = (function_alignment
+                                   or spec.function_alignment)
+        self.fixed = isinstance(spec, FixedLengthSpec)
+        self.pie = binary.is_pic
+        self.toc_base = binary.metadata.get("toc_base")
+
+        self.result = RelocationResult()
+        self.stream = Stream(".instr")
+        self.result.stream = self.stream
+
+        toc_anchor = Label("toc_anchor")
+        toc_anchor.addr = self.toc_base if self.toc_base is not None else 0
+        self.toc_anchor = toc_anchor
+        self.emitter = RelocEmitter(self.stream, spec, self.pie,
+                                    toc_anchor, section_labels or {})
+
+        #: original insn addresses needing a label (entry+delta flows)
+        self.special_points = set(special_points)
+        #: func-ptr mode: code-site pointer defs to retarget, keyed by the
+        #: first instruction address of their materialization
+        self.code_defs_by_addr = {}
+        for cdef in funcptr_code_defs:
+            addrs = [a for a in cdef.prov[1:] if isinstance(a, int)]
+            if addrs:
+                self.code_defs_by_addr[min(addrs)] = cdef
+
+        self._relocated_blocks = set()
+        self._preset_labels = {}
+
+    # -- label helpers ------------------------------------------------------
+
+    def block_label(self, start):
+        if start not in self.result.block_labels:
+            self.result.block_labels[start] = Label(f"blk_{start:x}")
+        return self.result.block_labels[start]
+
+    def _orig_label(self, addr):
+        """A label pre-bound to an original (non-relocated) address."""
+        if addr not in self._preset_labels:
+            label = Label(f"orig_{addr:x}")
+            label.addr = addr
+            self._preset_labels[addr] = label
+        return self._preset_labels[addr]
+
+    def target_label(self, addr):
+        """Label for a control-flow target: relocated block when there is
+        one, the original address otherwise."""
+        if addr in self._relocated_blocks:
+            return self.block_label(addr)
+        return self._orig_label(addr)
+
+    # -- top level -------------------------------------------------------------
+
+    def relocate(self, functions, block_order="address"):
+        """Emit all given FunctionCFGs; returns the RelocationResult.
+
+        ``functions`` are emitted in the given sequence (reorder the list
+        to reorder functions); ``block_order`` is ``"address"`` or
+        ``"reverse"`` (BOLT-comparison experiments, Section 8.3).
+        """
+        for fcfg in functions:
+            for start in fcfg.blocks:
+                self._relocated_blocks.add(start)
+        for fcfg in functions:
+            self._relocate_function(fcfg, block_order)
+        return self.result
+
+    # -- per function -------------------------------------------------------------
+
+    def _relocate_function(self, fcfg, block_order="address"):
+        stream = self.stream
+        stream.align(self.function_alignment)
+        skip_ranges = self._dispatch_ranges(fcfg)
+        veneers = _VeneerIsland(self, fcfg) if self.fixed else None
+
+        blocks = fcfg.sorted_blocks()
+        if block_order == "reverse":
+            blocks = [blocks[0]] + list(reversed(blocks[1:]))
+        elif block_order != "address":
+            raise RewriteError(f"unknown block order {block_order!r}")
+        self.result.fn_emit_order[fcfg.entry] = [b.start for b in blocks]
+
+        instrument_fn = self.instrumentation.wants_function(fcfg)
+        for i, block in enumerate(blocks):
+            stream.label(self.block_label(block.start))
+            if instrument_fn and self.instrumentation.wants_block(
+                    fcfg, block):
+                self.instrumentation.emit(self.emitter, fcfg, block)
+            self._emit_block(fcfg, block, skip_ranges, veneers)
+            # Fall-through fixup: when the next emitted block is not the
+            # address-order successor, flow must be bridged explicitly.
+            term = block.terminator
+            if term is not None and term.falls_through:
+                next_start = blocks[i + 1].start if i + 1 < len(blocks) \
+                    else None
+                if next_start != block.end:
+                    target = self.target_label(block.end)
+                    if self.fixed and veneers is not None:
+                        stream.chunks.append(_FlexBranchChunk(
+                            self.spec, "jmp", target,
+                            veneers.slot_for(target),
+                        ))
+                    else:
+                        stream.emit("jmp", 0, target=target)
+
+        # Function epilogue area: jump-table clones, then veneer slots.
+        if self.mode.rewrites_jump_tables:
+            for table in fcfg.jump_tables:
+                self._emit_clone(table)
+        if veneers is not None:
+            veneers.emit()
+        end_label = Label(f"fnend_{fcfg.entry:x}")
+        stream.label(end_label)
+        self.result.fn_end_labels[fcfg.entry] = end_label
+
+    def _dispatch_ranges(self, fcfg):
+        """{seq_start: dispatch_addr} for tables re-emitted canonically."""
+        if not self.mode.rewrites_jump_tables:
+            return {}
+        return {t.seq_start: t.dispatch_addr for t in fcfg.jump_tables}
+
+    # -- block emission ------------------------------------------------------------------
+
+    def _emit_block(self, fcfg, block, skip_ranges, veneers):
+        insns = block.insns
+        i = 0
+        while i < len(insns):
+            insn = insns[i]
+            addr = insn.addr
+
+            if addr in self.special_points:
+                label = self.result.point_labels.get(addr)
+                if label is None:
+                    label = Label(f"pt_{addr:x}")
+                    self.result.point_labels[addr] = label
+                self.stream.label(label)
+
+            if addr in skip_ranges:
+                dispatch = skip_ranges[addr]
+                table = next(t for t in fcfg.jump_tables
+                             if t.seq_start == addr)
+                self._emit_canonical_dispatch(table)
+                while i < len(insns) and insns[i].addr <= dispatch:
+                    i += 1
+                continue
+
+            if addr in self.code_defs_by_addr:
+                i += self._emit_code_def(insns, i)
+                continue
+
+            i += self._emit_insn(fcfg, insns, i, veneers)
+
+    def _emit_insn(self, fcfg, insns, i, veneers):
+        """Translate one instruction; returns how many inputs consumed."""
+        insn = insns[i]
+        m = insn.mnemonic
+        stream = self.stream
+
+        if self.dynamic_translation and m in ("ret", "jmpr", "callr"):
+            self._emit_dynamic_translation(insn, veneers)
+            return 1
+        if m == "call":
+            self._emit_call(insn, veneers)
+            return 1
+        if m in ("jmp", "jmp.s"):
+            target = self.target_label(insn.target)
+            if self.fixed and veneers is not None:
+                stream.chunks.append(_FlexBranchChunk(
+                    self.spec, "jmp", target, veneers.slot_for(target)
+                ))
+            else:
+                stream.emit("jmp", 0, target=target)
+            return 1
+        if insn.is_cond_branch:
+            ops = list(insn.operands)
+            stream.emit(m, ops[0], ops[1], 0,
+                        target=self.target_label(insn.target))
+            return 1
+        if m == "syscall":
+            label = Label(f"sys_{insn.addr:x}")
+            stream.label(label)
+            self.result.ra_pairs.append((label, insn.addr))
+            stream.emit(m, *insn.operands)
+            return 1
+        if m == "leapc":
+            self._rematerialize(insn.operands[0], insn.target)
+            return 1
+        if m.startswith("ldpc"):
+            rd = insn.operands[0]
+            if self.spec.name == "x86":
+                stream.emit(m, rd, 0,
+                            target=self._orig_label(insn.target))
+            else:
+                self._rematerialize(rd, insn.target)
+                stream.emit("ld" + m[4:], rd, Mem(rd, 0))
+            return 1
+        if m == "adrp":
+            return self._emit_adrp_pair(insns, i)
+        # Everything else is position-free: emit unchanged.
+        stream.emit(m, *insn.operands)
+        return 1
+
+    def _emit_call(self, insn, veneers):
+        stream = self.stream
+        target_addr = insn.target
+        target = self.target_label(target_addr)
+        return_addr = insn.addr + insn.length
+
+        if self.call_emulation:
+            self._emit_call_emulation(target, return_addr, veneers)
+            return
+
+        if self.fixed and veneers is not None:
+            stream.chunks.append(_FlexBranchChunk(
+                self.spec, "call", target, veneers.call_slot_for(target)
+            ))
+        else:
+            stream.emit("call", 0, target=target)
+        ra_label = Label(f"ra_{insn.addr:x}")
+        stream.label(ra_label)
+        self.result.ra_pairs.append((ra_label, return_addr))
+
+    def _emit_call_emulation(self, target, return_addr, veneers):
+        """SRBI/Multiverse-style call emulation: push the *original*
+        return address, then jump (Section 2.3).  Unwinding keeps working
+        without RA translation, but every return re-enters original code
+        and must bounce through a call-fall-through trampoline."""
+        stream = self.stream
+        ra = self._orig_label(return_addr)
+        if self.spec.name == "x86":
+            self.emitter.emit_addr_label(R15, ra)
+            stream.emit("push", R15)
+            stream.emit("jmp", 0, target=target)
+        else:
+            self.emitter.emit_addr_label(R15, ra)
+            stream.emit("mov", LR, R15)
+            if veneers is not None:
+                stream.chunks.append(_FlexBranchChunk(
+                    self.spec, "jmp", target, veneers.slot_for(target)
+                ))
+            else:
+                stream.emit("jmp", 0, target=target)
+
+    def _emit_dynamic_translation(self, insn, veneers):
+        """Multiverse-style rewriting of returns and indirect transfers:
+        the target goes to R15 and the runtime translation routine
+        (SYS_DYNTRANS) redirects execution to the rewritten counterpart.
+        """
+        stream = self.stream
+        m = insn.mnemonic
+        if m == "ret":
+            if self.spec.call_pushes_return_address:
+                stream.emit("pop", R15)
+            else:
+                stream.emit("mov", R15, LR)
+            stream.emit("syscall", 5)
+            return
+        if m == "jmpr":
+            target_reg = insn.operands[0]
+            if target_reg != R15:
+                stream.emit("mov", R15, target_reg)
+            stream.emit("syscall", 5)
+            return
+        if m == "callr":
+            # Call emulation (original RA) + translated transfer.
+            target_reg = insn.operands[0]
+            return_addr = insn.addr + insn.length
+            ra = self._orig_label(return_addr)
+            if target_reg == R15:
+                raise RewriteError(
+                    "dynamic translation cannot emulate a call through "
+                    "the scratch register"
+                )
+            if self.spec.call_pushes_return_address:
+                self.emitter.emit_addr_label(R15, ra)
+                stream.emit("push", R15)
+            else:
+                self.emitter.emit_addr_label(R15, ra)
+                stream.emit("mov", LR, R15)
+            stream.emit("mov", R15, target_reg)
+            stream.emit("syscall", 5)
+            return
+        raise RewriteError(f"cannot dynamically translate {m}")
+
+    def _emit_adrp_pair(self, insns, i):
+        """aarch64 adrp+add: PC-relative, so re-materialize for the new
+        location (the pair computes an absolute original address)."""
+        insn = insns[i]
+        rd = insn.operands[0]
+        value = (insn.addr & ~0xFFF) + (insn.operands[1] << 12)
+        if i + 1 < len(insns):
+            nxt = insns[i + 1]
+            if nxt.mnemonic == "addi" and nxt.operands[0] == rd \
+                    and nxt.operands[1] == rd:
+                self._rematerialize(rd, value + nxt.operands[2])
+                return 2
+        self._rematerialize(rd, value)
+        return 1
+
+    def _rematerialize(self, reg, orig_addr):
+        """reg = orig_addr (the ORIGINAL address), correct at the new
+        location, PIC-safe.
+
+        Address materializations keep their original values: semantic
+        equivalence demands it (the value may index a table, be compared,
+        be stored...).  If the address is later used for control flow it
+        lands in original code, where the CFL trampolines catch it;
+        redirecting materializations to relocated code is only done for
+        *analyzed* function-pointer definitions in func-ptr mode
+        (:meth:`_emit_code_def`)."""
+        self.emitter.emit_addr_label(reg, self._orig_label(orig_addr))
+
+    def _emit_code_def(self, insns, i):
+        """func-ptr mode: retarget a code-site pointer materialization to
+        the relocated entry (possibly entry+delta, paper Listing 1)."""
+        cdef = self.code_defs_by_addr[insns[i].addr]
+        point = cdef.target + cdef.delta
+        if cdef.delta and point in self.result.point_labels:
+            label = self.result.point_labels[point]
+        elif cdef.delta:
+            label = Label(f"pt_{point:x}")
+            self.result.point_labels[point] = label
+        else:
+            label = self.target_label(cdef.target)
+        reg = insns[i].operands[0]
+        # Emit value = label - delta so runtime "+delta" lands on label.
+        if cdef.delta == 0:
+            self.emitter.emit_addr_label(reg, label)
+        else:
+            shifted = _ShiftedLabel(label, -cdef.delta)
+            self.emitter.emit_addr_label(reg, shifted)
+        consumed = 1
+        prov_addrs = [a for a in cdef.prov[1:] if isinstance(a, int)]
+        if len(prov_addrs) == 2 and i + 1 < len(insns) \
+                and insns[i + 1].addr == max(prov_addrs):
+            consumed = 2
+        return consumed
+
+    # -- jump tables -----------------------------------------------------------------------
+
+    def _emit_canonical_dispatch(self, table):
+        """Uniform cloned-table dispatch: tar'(x) = clone + x, 4-byte
+        signed entries (this is also what widens aarch64's narrow
+        entries, Section 5.1)."""
+        stream = self.stream
+        clone = Label(f"clone_{table.table_addr:x}")
+        table._clone_label = clone
+        idx = table.index_reg
+        base = getattr(table, "base_reg", None)
+        if base is None or base == idx:
+            base = 14 if idx != 14 else 15
+        stream.emit("leapc", base, 0, target=clone)
+        stream.emit("shli", idx, idx, 2)
+        stream.emit("add", idx, base, idx)
+        stream.emit("lds32", idx, Mem(idx, 0))
+        stream.emit("add", idx, base, idx)
+        if self.spec.name == "ppc64":
+            stream.emit("mov", CTR, idx)
+            stream.emit("jmpr", CTR)
+        else:
+            stream.emit("jmpr", idx)
+
+    def _emit_clone(self, table):
+        clone = getattr(table, "_clone_label", None)
+        if clone is None:
+            return
+        stream = self.stream
+        stream.align(4)
+        stream.label(clone)
+        targets = [self.target_label(y) for y in table.targets]
+        stream.table(clone, targets, entry_size=4, shift=0, signed=True)
+        self.result.clones.append((table, clone))
+
+
+class _ShiftedLabel:
+    """A label viewed at a constant offset (for entry+delta pointers)."""
+
+    def __init__(self, label, delta):
+        self.label = label
+        self.delta = delta
+        self.name = f"{label.name}{delta:+d}"
+
+    def resolved(self):
+        return self.label.resolved() + self.delta
+
+    @property
+    def addr(self):
+        return None if self.label.addr is None \
+            else self.label.addr + self.delta
+
+
+class _VeneerIsland:
+    """Per-function reserved veneer slots (fixed-length architectures).
+
+    Slots are reserved for every distinct cross-function target during
+    emission; at render time each direct branch uses its slot only when
+    the direct displacement does not fit.
+    """
+
+    def __init__(self, relocator, fcfg):
+        self.relocator = relocator
+        self.fcfg = fcfg
+        self.slots = {}   # id(label-ish) keyed by its name
+
+    def slot_for(self, target):
+        key = target.name
+        if key not in self.slots:
+            slot = Label(f"veneer_{self.fcfg.name}_{len(self.slots)}")
+            self.slots[key] = (slot, target)
+        return self.slots[key][0]
+
+    call_slot_for = slot_for
+
+    def emit(self):
+        stream = self.relocator.stream
+        for slot, target in self.slots.values():
+            stream.align(4)
+            stream.label(slot)
+            stream.chunks.append(_VeneerSlotChunk(
+                self.relocator.spec, target,
+                self.relocator.toc_base or 0,
+            ))

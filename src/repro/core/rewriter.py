@@ -1,0 +1,396 @@
+"""The incremental CFG patching rewriter (the paper's system).
+
+Pipeline::
+
+    CFG construction  (per-function failure containment)
+        -> function-pointer analysis
+        -> CFL-block computation (mode-dependent)
+        -> trampoline placement analysis (superblocks, scratch pools)
+        -> relocation into .instr (+ instrumentation, clones, veneers)
+        -> trampoline installation (short/long/hop/save-restore/trap)
+        -> function-pointer redirection (func-ptr mode)
+        -> .ra_map / .trap_map emission, section layout, report
+
+Failure semantics follow Figure 2: a function whose analysis failed is
+left in place (coverage drops); ``func-ptr`` mode refuses to run when
+pointer identification is imprecise (:class:`RewriteError`), which is the
+"incremental" escape hatch — the user falls back to ``jt`` or ``dir``.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.construction import ConstructionOptions, build_cfg
+from repro.analysis.funcptr import analyze_function_pointers
+from repro.analysis.liveness import LivenessAnalysis
+from repro.binfmt.sections import Section
+from repro.core.cfl import CflAnalysis
+from repro.core.instrumentation import EmptyInstrumentation
+from repro.core.layout import prepare_output
+from repro.core.modes import RewriteMode
+from repro.core.placement import padding_ranges, place_trampolines
+from repro.core.relocate import Relocator
+from repro.core.runtime_lib import RuntimeLibrary, pack_addr_map
+from repro.core.trampolines import ScratchPool, TrampolineInstaller
+from repro.isa import get_arch
+from repro.isa.archspec import ILLEGAL_BYTE
+from repro.util.errors import RewriteError
+
+
+@dataclass
+class RewriteReport:
+    """Everything the evaluation harness reads off one rewrite."""
+
+    mode: str
+    arch: str
+    total_functions: int = 0
+    relocated_functions: int = 0
+    failed_functions: list = field(default_factory=list)
+    cfl_blocks: int = 0
+    superblocks: int = 0
+    trampolines: dict = field(default_factory=dict)
+    traps: int = 0
+    clones: int = 0
+    redirected_slots: int = 0
+    ra_entries: int = 0
+    original_loaded: int = 0
+    rewritten_loaded: int = 0
+    funcptr_precise: bool = None
+    funcptr_reasons: list = field(default_factory=list)
+
+    @property
+    def coverage(self):
+        """Instrumented fraction of functions (paper's coverage metric)."""
+        if self.total_functions == 0:
+            return 1.0
+        return self.relocated_functions / self.total_functions
+
+    @property
+    def size_increase(self):
+        if self.original_loaded == 0:
+            return 0.0
+        return self.rewritten_loaded / self.original_loaded - 1.0
+
+
+class IncrementalRewriter:
+    """Incremental CFG patching, as a reusable object."""
+
+    #: recycle unused superblock bytes as hop-slot scratch (Section 7);
+    #: baselines without the scratch-block analysis turn this off
+    pool_leftovers = True
+    #: extra bytes per trap-map entry (mainstream Dyninst's legacy trap
+    #: structures are far larger than the 16-byte packed pairs here)
+    trap_map_entry_pad = 0
+
+    def __init__(self, mode=RewriteMode.JT, instrumentation=None,
+                 construction_options=None, scorch_original=False,
+                 call_emulation=False, cfg_hook=None,
+                 function_order="address", block_order="address"):
+        self.mode = (RewriteMode.parse(mode) if isinstance(mode, str)
+                     else mode)
+        self.instrumentation = instrumentation or EmptyInstrumentation()
+        self.construction_options = (construction_options
+                                     or ConstructionOptions())
+        #: emission order for the BOLT-comparison experiments (Section
+        #: 8.3): "address" or "reverse"
+        self.function_order = function_order
+        self.block_order = block_order
+        #: fill original bytes of relocated functions with illegal
+        #: instructions (the strong rewrite test of Section 8)
+        self.scorch_original = scorch_original
+        #: SRBI-style call emulation instead of RA translation
+        self.call_emulation = call_emulation
+        #: optional CFG mutation hook (failure injection, Figure 2)
+        self.cfg_hook = cfg_hook
+
+    # -- public ---------------------------------------------------------------
+
+    def rewrite(self, binary):
+        """Rewrite; returns (rewritten Binary, RewriteReport)."""
+        spec = get_arch(binary.arch_name)
+        cfg = build_cfg(binary, self.construction_options)
+        if self.cfg_hook is not None:
+            cfg = self.cfg_hook(cfg) or cfg
+        self._pre_checks(binary, cfg)
+        funcptrs = analyze_function_pointers(binary, cfg, spec)
+        if self.mode.rewrites_function_pointers and not funcptrs.precise:
+            raise RewriteError(
+                "func-ptr mode requires precise function-pointer "
+                "identification: " + "; ".join(funcptrs.reasons[:3])
+            )
+
+        all_functions = [
+            f for f in cfg.sorted_functions() if not f.is_runtime_support
+        ]
+        relocated_fns = [
+            f for f in all_functions
+            if f.ok and self.instrumentation.wants_function(f)
+        ]
+        relocated_set = {f.entry for f in relocated_fns}
+
+        extra = self.instrumentation.prepare(binary, cfg)
+        out, dead_ranges, extra_addrs = prepare_output(binary, extra)
+        if hasattr(self.instrumentation, "section_addr") \
+                and ".icounters" in extra_addrs:
+            self.instrumentation.section_addr = extra_addrs[".icounters"]
+
+        special_points, derived_by_slot = self._derived_flow_points(
+            funcptrs
+        )
+        extra_cfl = self._unrewritten_landing_points(
+            cfg, funcptrs, relocated_set
+        )
+        cfl = CflAnalysis(
+            binary, cfg, self.mode, funcptrs,
+            call_emulation=self.call_emulation, relocated=relocated_set,
+            extra_cfl_points=extra_cfl,
+        )
+        placement = self._compute_placement(cfg, cfl)
+        relocator = Relocator(
+            binary, spec, cfg, self.mode, self.instrumentation,
+            section_labels=extra_addrs,
+            call_emulation=self.call_emulation,
+            special_points=special_points,
+            funcptr_code_defs=(funcptrs.code_defs
+                               if self.mode.rewrites_function_pointers
+                               else ()),
+            **self._relocator_kwargs(),
+        )
+        emit_order = list(relocated_fns)
+        if self.function_order == "reverse":
+            emit_order.reverse()
+        reloc = relocator.relocate(emit_order, block_order=self.block_order)
+
+        instr_base = out.next_free_addr(64)
+        reloc.stream.assign_addresses(spec, instr_base)
+        instr_bytes = reloc.stream.render(spec, instr_base)
+        out.add_section(Section(".instr", instr_base, instr_bytes,
+                                ("ALLOC", "EXEC"), 16))
+
+        pool = ScratchPool(
+            list(placement.scratch_ranges)
+            + padding_ranges(binary, cfg, spec)
+            + list(dead_ranges)
+        )
+        installer = TrampolineInstaller(
+            out, spec, pool, toc_base=binary.metadata.get("toc_base"),
+            pool_leftovers=self.pool_leftovers,
+        )
+        liveness_cache = {}
+        for sb in placement.superblocks:
+            fcfg = cfg.by_name[sb.function]
+            if fcfg.name not in liveness_cache:
+                liveness_cache[fcfg.name] = LivenessAnalysis(fcfg, spec)
+            target = reloc.block_labels[sb.cfl_start].resolved()
+            dead = liveness_cache[fcfg.name].dead_gprs_at(sb.cfl_start)
+            installer.install(sb.function, sb.cfl_start, sb.size,
+                              target, dead)
+
+        redirected = 0
+        if self.mode.rewrites_function_pointers:
+            redirected = self._redirect_pointers(
+                out, funcptrs, derived_by_slot, reloc, relocated_set
+            )
+
+        if self.scorch_original:
+            self._scorch(out, cfg, relocated_fns, installer)
+
+        self._emit_maps(out, reloc, installer)
+        self._post_layout(out, reloc, installer)
+        ra_map = reloc.ra_map()
+
+        wrap_unwind = (not self.call_emulation
+                       and bool(binary.landing_pads))
+        go_hooks = (not self.call_emulation and bool(binary.func_table))
+        out.metadata["rewrite"] = {
+            "mode": str(self.mode),
+            "wrap_unwind": wrap_unwind,
+            "go_hooks": go_hooks,
+            "call_emulation": self.call_emulation,
+            "text_range": binary.metadata.get("text_range"),
+            "instr_range": [instr_base, instr_base + len(instr_bytes)],
+            "trampolines": installer.stats.as_dict(),
+        }
+
+        report = RewriteReport(
+            mode=str(self.mode),
+            arch=spec.name,
+            total_functions=len(all_functions),
+            relocated_functions=len(relocated_fns),
+            failed_functions=[(f.name, f.failed)
+                              for f in cfg.failed_functions()],
+            cfl_blocks=sum(len(v)
+                           for v in placement.cfl_by_function.values()),
+            superblocks=len(placement.superblocks),
+            trampolines=installer.stats.as_dict(),
+            traps=installer.stats.trap,
+            clones=len(reloc.clones),
+            redirected_slots=redirected,
+            ra_entries=len(ra_map),
+            original_loaded=binary.loaded_size(),
+            rewritten_loaded=out.loaded_size(),
+            funcptr_precise=funcptrs.precise,
+            funcptr_reasons=list(funcptrs.reasons),
+        )
+        return out, report
+
+    def runtime_library(self, rewritten):
+        """The runtime library to LD_PRELOAD with the rewritten binary."""
+        return RuntimeLibrary.from_binary(rewritten)
+
+    # -- overridable hooks (baseline rewriters subclass these) --------------------
+
+    def _pre_checks(self, binary, cfg):
+        """Raise RewriteError for binaries this rewriter cannot handle."""
+
+    def _compute_placement(self, cfg, cfl):
+        """Trampoline placement strategy (Section 4.2); the default is
+        CFL-blocks-only with superblock extension."""
+        return place_trampolines(cfg, cfl)
+
+    def _relocator_kwargs(self):
+        """Extra keyword arguments for the Relocator."""
+        return {}
+
+    def _post_layout(self, out, reloc, installer):
+        """Called after the output binary is fully laid out."""
+
+    # -- internals -------------------------------------------------------------------
+
+    def _unrewritten_landing_points(self, cfg, funcptrs, relocated_set):
+        """Known mid-function landing points of *unrewritten* pointers.
+
+        Go's entry+1 pointers (paper Listing 1) land one byte past a
+        function entry.  When func-ptr mode redirects the pointer, the
+        relocator handles it; in dir/jt mode the original value survives
+        and execution can land at entry+delta in original code — a
+        mid-block landing that would otherwise fall into the middle of
+        the entry trampoline.  We split the block there and make the
+        split point CFL, exactly the Section-4.3 over-approximation
+        machinery applied on purpose.
+        """
+        if self.mode.rewrites_function_pointers and funcptrs.precise:
+            return {}
+        by_slot = {d.slot: d for d in funcptrs.data_defs}
+        extra = {}
+        for flow in funcptrs.derived_defs:
+            data_def = by_slot.get(flow.src_slot)
+            if data_def is None or flow.delta == 0:
+                continue
+            if data_def.target not in relocated_set:
+                continue
+            fcfg = cfg.function_at(data_def.target)
+            if fcfg is None or not fcfg.ok:
+                continue
+            point = data_def.target + flow.delta
+            fcfg.split_block(point)
+            if point in fcfg.blocks:
+                extra.setdefault(fcfg.name, set()).add(point)
+        return extra
+
+    def _derived_flow_points(self, funcptrs):
+        """Original insn addresses needing relocation labels (entry+delta)."""
+        if not self.mode.rewrites_function_pointers:
+            return set(), {}
+        by_slot = {d.slot: d for d in funcptrs.data_defs}
+        points = set()
+        derived_by_slot = {}
+        for flow in funcptrs.derived_defs:
+            data_def = by_slot.get(flow.src_slot)
+            if data_def is None:
+                continue
+            points.add(data_def.target + flow.delta)
+            derived_by_slot[flow.src_slot] = (flow, data_def)
+        return points, derived_by_slot
+
+    def _redirect_pointers(self, out, funcptrs, derived_by_slot, reloc,
+                           relocated_set):
+        """func-ptr mode: point every identified definition at the
+        relocated code (Section 5.2)."""
+        redirected = 0
+        new_relocs = []
+        patched = {}
+        for data_def in funcptrs.data_defs:
+            if data_def.target not in relocated_set:
+                continue   # target stays original; value remains correct
+            pair = derived_by_slot.get(data_def.slot)
+            if pair is not None:
+                flow, _ = pair
+                point = data_def.target + flow.delta
+                new_value = (reloc.point_labels[point].resolved()
+                             - flow.delta)
+            else:
+                base = reloc.block_labels.get(data_def.target)
+                if base is None:
+                    continue
+                new_value = base.resolved() + data_def.delta
+            patched[data_def.slot] = new_value
+            out.write_int(data_def.slot, new_value, 8)
+            redirected += 1
+        for rel in out.relocations:
+            if rel.where in patched:
+                rel = type(rel)(rel.where, rel.kind, patched[rel.where],
+                                rel.size)
+            new_relocs.append(rel)
+        out.relocations = new_relocs
+        return redirected
+
+    def _scorch(self, out, cfg, relocated_fns, installer):
+        """Overwrite the original bytes of every relocated function with
+        illegal instructions, sparing trampolines/hop slots and inline
+        jump tables — the strong rewrite test (Section 8)."""
+        keep = list(installer.written_ranges)
+        for fcfg in relocated_fns:
+            for table in fcfg.jump_tables:
+                section = out.section_containing(table.table_addr)
+                if section is not None and section.is_exec:
+                    keep.append((
+                        table.table_addr,
+                        table.table_addr
+                        + table.count * table.entry_size,
+                    ))
+        keep.sort()
+        for fcfg in relocated_fns:
+            start = fcfg.entry
+            end = fcfg.range_end if fcfg.range_end is not None \
+                else fcfg.high
+            for lo, hi in _subtract_ranges(start, end, keep):
+                out.write(lo, bytes([ILLEGAL_BYTE]) * (hi - lo))
+
+    def _emit_maps(self, out, reloc, installer):
+        ra_bytes = pack_addr_map(reloc.ra_map())
+        addr = out.next_free_addr(16)
+        out.add_section(
+            Section(".ra_map", addr, ra_bytes, ("ALLOC",), 8)
+        )
+        trap_bytes = pack_addr_map(installer.trap_map)
+        trap_bytes += b"\0" * (len(installer.trap_map)
+                               * self.trap_map_entry_pad)
+        addr = out.next_free_addr(16)
+        out.add_section(
+            Section(".trap_map", addr, trap_bytes, ("ALLOC",), 8)
+        )
+
+
+def _subtract_ranges(start, end, keep_sorted):
+    """Yield subranges of [start, end) not covered by keep_sorted."""
+    cur = start
+    for lo, hi in keep_sorted:
+        if hi <= cur or lo >= end:
+            continue
+        if lo > cur:
+            yield (cur, min(lo, end))
+        cur = max(cur, hi)
+        if cur >= end:
+            return
+    if cur < end:
+        yield (cur, end)
+
+
+def rewrite_binary(binary, mode=RewriteMode.JT, instrumentation=None,
+                   **kwargs):
+    """One-call convenience: returns (rewritten, report, runtime_lib)."""
+    rewriter = IncrementalRewriter(mode=mode,
+                                   instrumentation=instrumentation,
+                                   **kwargs)
+    rewritten, report = rewriter.rewrite(binary)
+    return rewritten, report, rewriter.runtime_library(rewritten)

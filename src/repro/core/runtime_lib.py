@@ -1,0 +1,108 @@
+"""The injected runtime library (Section 3, last paragraph).
+
+The paper's runtime library is LD_PRELOADed into the rewritten process
+and provides (1) the trap-signal handler that redirects trap-based
+trampolines, and (2) the return-address translation routine
+(`RATranslation`, Section 6) invoked during stack unwinding.  Both are
+driven by maps the rewriter stored *inside the rewritten binary*
+(``.trap_map`` and ``.ra_map`` sections); the library extracts them at
+startup and adjusts for the load bias.
+
+The same object also serves the dynamic-translation lookup used by the
+Multiverse-style baseline (a block-level original→rewritten map).
+"""
+
+import struct
+
+from repro.util.errors import ReproError
+
+_PAIR = struct.Struct("<QQ")
+
+
+def pack_addr_map(mapping):
+    """Serialize an address→address map into section bytes."""
+    out = bytearray()
+    for key in sorted(mapping):
+        out += _PAIR.pack(key, mapping[key])
+    return bytes(out)
+
+
+def unpack_addr_map(data):
+    if len(data) % _PAIR.size:
+        raise ReproError("corrupt address-map section")
+    result = {}
+    for off in range(0, len(data), _PAIR.size):
+        key, value = _PAIR.unpack_from(data, off)
+        result[key] = value
+    return result
+
+
+class RuntimeLibrary:
+    """LD_PRELOAD-style runtime support for a rewritten binary.
+
+    All maps are in the binary's original (link-time) address space; the
+    library biases them once it learns where the image landed
+    (:meth:`attach`).
+    """
+
+    def __init__(self, ra_map=None, trap_map=None, dyn_map=None,
+                 wrap_unwind=False, go_hooks=False):
+        self.ra_map = dict(ra_map or {})
+        self.trap_map = dict(trap_map or {})
+        self.dyn_map = dict(dyn_map or {})
+        #: wraps the libunwind step function (C++ exceptions, Section 6.1)
+        self.wrap_unwind = wrap_unwind
+        #: hooks runtime.findfunc/runtime.pcvalue (Go, Section 6.2)
+        self.go_hooks = go_hooks
+        self.bias = 0
+
+    @classmethod
+    def from_binary(cls, rewritten):
+        """Extract the maps from a rewritten binary's sections."""
+        info = rewritten.metadata.get("rewrite", {})
+        ra_section = rewritten.get_section(".ra_map")
+        trap_section = rewritten.get_section(".trap_map")
+        dyn_section = rewritten.get_section(".dyn_map")
+        return cls(
+            ra_map=unpack_addr_map(bytes(ra_section.data))
+            if ra_section else {},
+            trap_map=unpack_addr_map(bytes(trap_section.data))
+            if trap_section else {},
+            dyn_map=unpack_addr_map(bytes(dyn_section.data))
+            if dyn_section else {},
+            wrap_unwind=bool(info.get("wrap_unwind", False)),
+            go_hooks=bool(info.get("go_hooks", False)),
+        )
+
+    # -- process attachment ---------------------------------------------------
+
+    def attach(self, image):
+        self.bias = image.bias
+
+    # -- services --------------------------------------------------------------
+
+    def translate(self, loaded_pc):
+        """RATranslation: relocated return address -> original (Section 6).
+
+        Unknown PCs pass through unchanged — "this case happens naturally
+        when we are unwinding through binaries that are not instrumented".
+        """
+        orig = loaded_pc - self.bias
+        mapped = self.ra_map.get(orig)
+        if mapped is None:
+            return loaded_pc
+        return mapped + self.bias
+
+    def trap_target(self, loaded_pc):
+        """Trap-signal handler lookup; None when the trap is not ours."""
+        orig = loaded_pc - self.bias
+        target = self.trap_map.get(orig)
+        if target is None:
+            return None
+        return target + self.bias
+
+    def dynamic_lookup(self, loaded_target):
+        """Multiverse-style dynamic translation: map an original-code
+        target to its rewritten counterpart (identity when unmapped)."""
+        orig = loaded_target - self.bias
+        return self.dyn_map.get(orig, orig) + self.bias

@@ -1,0 +1,40 @@
+"""Evaluation harness: tool drivers, aggregation, table printers, and
+the per-experiment reproductions of every table and figure."""
+
+from repro.eval.harness import (
+    ToolRun,
+    baseline_run,
+    evaluate_tool,
+    make_tool,
+    summarize,
+    TOOL_NAMES,
+)
+from repro.eval.tables import table1, table2, table3
+from repro.eval.experiments import (
+    bolt_comparison,
+    diogenes_case_study,
+    docker_experiment,
+    failure_modes,
+    firefox_experiment,
+    spec2017,
+    TABLE3_TOOLS,
+)
+
+__all__ = [
+    "ToolRun",
+    "baseline_run",
+    "evaluate_tool",
+    "make_tool",
+    "summarize",
+    "TOOL_NAMES",
+    "table1",
+    "table2",
+    "table3",
+    "spec2017",
+    "TABLE3_TOOLS",
+    "firefox_experiment",
+    "docker_experiment",
+    "bolt_comparison",
+    "diogenes_case_study",
+    "failure_modes",
+]

@@ -1,0 +1,146 @@
+"""Shared evaluation machinery.
+
+``evaluate_tool`` runs the full pipeline for one (binary, tool) pair:
+rewrite with the strong test enabled (every block instrumented with empty
+instrumentation, original bytes scorched), execute on the emulator,
+compare output with the oracle run, and measure overhead/coverage/size —
+the paper's Section 8 methodology.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    DynamicTranslationRewriter,
+    InstructionPatcher,
+    IrLoweringRewriter,
+    SrbiRewriter,
+)
+from repro.core import (
+    EmptyInstrumentation,
+    IncrementalRewriter,
+    RewriteMode,
+    RuntimeLibrary,
+)
+from repro.machine import run_binary
+from repro.util.errors import ReproError
+
+#: Tool names understood by :func:`make_tool`.
+TOOL_NAMES = ("srbi", "dir", "jt", "func-ptr", "ir-lowering",
+              "dyn-translation", "insn-patching")
+
+
+@dataclass
+class ToolRun:
+    """Outcome of one tool on one binary."""
+
+    tool: str
+    benchmark: str
+    passed: bool
+    error: str = None
+    overhead: float = None
+    coverage: float = None
+    size_increase: float = None
+    traps_installed: int = 0
+    traps_hit: int = 0
+    cycles: int = None
+    report: object = field(default=None, repr=False)
+
+
+def make_tool(name, instrumentation=None, scorch=True, **kwargs):
+    """Instantiate a rewriter by tool name."""
+    instrumentation = instrumentation or EmptyInstrumentation()
+    if name in ("dir", "jt", "func-ptr"):
+        return IncrementalRewriter(
+            mode=RewriteMode.parse(name),
+            instrumentation=instrumentation,
+            scorch_original=scorch,
+            **kwargs,
+        )
+    if name == "srbi":
+        return SrbiRewriter(instrumentation=instrumentation,
+                            scorch_original=scorch, **kwargs)
+    if name == "ir-lowering":
+        return IrLoweringRewriter(instrumentation=instrumentation,
+                                  **kwargs)
+    if name == "dyn-translation":
+        return DynamicTranslationRewriter(instrumentation=instrumentation,
+                                          **kwargs)
+    if name == "insn-patching":
+        return InstructionPatcher(instrumentation=instrumentation,
+                                  **kwargs)
+    raise KeyError(f"unknown tool {name!r}; known: {TOOL_NAMES}")
+
+
+def runtime_for(tool, rewriter, rewritten):
+    """The runtime library a tool's output needs (None when none)."""
+    if hasattr(rewriter, "runtime_library"):
+        return rewriter.runtime_library(rewritten)
+    if tool in ("insn-patching",):
+        return RuntimeLibrary.from_binary(rewritten)
+    return None
+
+
+def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
+                  instrumentation=None, **tool_kwargs):
+    """Run one tool on one binary; returns a :class:`ToolRun`.
+
+    ``oracle`` is the expected ``(exit_code, output list)``;
+    ``base_cycles`` the original binary's cycle count.
+    """
+    try:
+        rewriter = make_tool(tool, instrumentation=instrumentation,
+                             **tool_kwargs)
+        rewritten, report = rewriter.rewrite(binary)
+        runtime = runtime_for(tool, rewriter, rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+    except ReproError as exc:
+        return ToolRun(tool=tool, benchmark=benchmark, passed=False,
+                       error=f"{type(exc).__name__}: {exc}")
+    if (result.exit_code, result.output) != oracle:
+        return ToolRun(tool=tool, benchmark=benchmark, passed=False,
+                       error="wrong output", report=report)
+    return ToolRun(
+        tool=tool,
+        benchmark=benchmark,
+        passed=True,
+        overhead=result.cycles / base_cycles - 1.0,
+        coverage=report.coverage,
+        size_increase=report.size_increase,
+        traps_installed=report.traps,
+        traps_hit=result.counters.get("traps", 0),
+        cycles=result.cycles,
+        report=report,
+    )
+
+
+def baseline_run(binary):
+    """Oracle run of the original binary: ((exit, output), cycles)."""
+    result = run_binary(binary)
+    return (result.exit_code, result.output), result.cycles
+
+
+def summarize(runs):
+    """Aggregate ToolRuns the way Table 3 reports them."""
+    passed = [r for r in runs if r.passed]
+    def agg(values, fn, default=None):
+        values = [v for v in values if v is not None]
+        return fn(values) if values else default
+    return {
+        "pass": len(passed),
+        "total": len(runs),
+        "overhead_max": agg([r.overhead for r in passed], max),
+        "overhead_mean": agg(
+            [r.overhead for r in passed],
+            lambda v: sum(v) / len(v),
+        ),
+        "coverage_min": agg([r.coverage for r in passed], min),
+        "coverage_mean": agg(
+            [r.coverage for r in passed],
+            lambda v: sum(v) / len(v),
+        ),
+        "size_max": agg([r.size_increase for r in passed], max),
+        "size_mean": agg(
+            [r.size_increase for r in passed],
+            lambda v: sum(v) / len(v),
+        ),
+    }

@@ -1,0 +1,76 @@
+"""Synthetic multi-architecture instruction sets.
+
+Three architecture models mirror the paper's evaluation targets:
+
+* :class:`~repro.isa.x86.X86Spec` — variable-length, short/long branches,
+  call pushes return address (space-constrained trampolines);
+* :class:`~repro.isa.ppc64.Ppc64Spec` — fixed-length, ±32 KB branch, TOC
+  register, link register (range-constrained trampolines);
+* :class:`~repro.isa.aarch64.Aarch64Spec` — fixed-length, ±128 KB branch,
+  ``adrp`` paging, link register, narrow jump-table entries.
+
+Use :func:`get_arch` to obtain the singleton spec for a name.
+"""
+
+from repro.isa.aarch64 import Aarch64Spec, AARCH64_BRANCH_RANGE
+from repro.isa.archspec import (
+    ArchSpec,
+    FixedLengthSpec,
+    ILLEGAL_BYTE,
+    SIM_RANGE_SCALE,
+    VariableLengthSpec,
+)
+from repro.isa.insn import Instruction, Mem
+from repro.isa.ppc64 import Ppc64Spec, PPC64_BRANCH_RANGE
+from repro.isa.x86 import X86Spec
+from repro.isa import registers
+
+_ARCHS = {
+    "x86": X86Spec(),
+    "ppc64": Ppc64Spec(),
+    "aarch64": Aarch64Spec(),
+}
+
+ARCH_NAMES = tuple(sorted(_ARCHS))
+
+
+def get_arch(name):
+    """Return the singleton :class:`ArchSpec` for ``name``.
+
+    Accepts the names used in the paper ("x86-64", "ppc64le") as aliases.
+    """
+    normalized = name.lower().replace("-", "").replace("_", "")
+    aliases = {
+        "x8664": "x86",
+        "x64": "x86",
+        "amd64": "x86",
+        "ppc64le": "ppc64",
+        "power9": "ppc64",
+        "arm64": "aarch64",
+    }
+    key = aliases.get(normalized, normalized)
+    try:
+        return _ARCHS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {', '.join(ARCH_NAMES)}"
+        )
+
+
+__all__ = [
+    "ArchSpec",
+    "VariableLengthSpec",
+    "FixedLengthSpec",
+    "X86Spec",
+    "Ppc64Spec",
+    "Aarch64Spec",
+    "Instruction",
+    "Mem",
+    "registers",
+    "get_arch",
+    "ARCH_NAMES",
+    "ILLEGAL_BYTE",
+    "SIM_RANGE_SCALE",
+    "PPC64_BRANCH_RANGE",
+    "AARCH64_BRANCH_RANGE",
+]

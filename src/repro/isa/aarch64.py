@@ -1,0 +1,99 @@
+"""The aarch64-like architecture model.
+
+Fixed 4-byte instructions; the single-instruction branch ``b``/``bl``
+reaches ±128 KB here (real ±128 MB scaled by
+:data:`repro.isa.archspec.SIM_RANGE_SCALE`).  The long-range trampoline is
+the paper's Table 2 sequence::
+
+    adrp reg, off@high
+    add  reg, reg, off@low
+    br   reg
+
+which is PC-relative (page-relative) and therefore position independent.
+Unlike ppc64 there is no architectural TAR register to borrow: when
+register liveness finds no dead register for the sequence, the rewriter
+falls back to a trap trampoline, exactly as Section 7 describes.
+
+The toolchain on this architecture emits **1- and 2-byte jump-table
+entries** (Section 5.1), which forces the jump-table cloning pass to widen
+table reads when relocated offsets no longer fit the narrow entries.
+"""
+
+from repro.isa.archspec import FixedLengthSpec, SIM_RANGE_SCALE
+
+#: Real aarch64 ``b`` reach is ±128 MB; scaled for simulation-sized binaries.
+AARCH64_BRANCH_RANGE = (128 << 20) // SIM_RANGE_SCALE  # ±128 KiB
+
+#: ``adrp`` page size: target pages within ±imm16 pages of PC.
+ADRP_PAGE = 0x1000
+
+
+class Aarch64Spec(FixedLengthSpec):
+    name = "aarch64"
+    function_alignment = 16
+    call_pushes_return_address = False
+
+    OPCODES = {
+        "mov": (0x01, "R2"),
+        "lis": (0x02, "RI16"),   # movz reg, imm, lsl 16
+        "adrp": (0x03, "RI16"),  # reg = (pc & ~0xFFF) + (imm << 12)
+        "addi": (0x04, "RRI16"),
+        "add": (0x05, "R3"),
+        "sub": (0x06, "R3"),
+        "mul": (0x07, "R3"),
+        "and": (0x08, "R3"),
+        "or": (0x09, "R3"),
+        "xor": (0x0A, "R3"),
+        "shl": (0x0B, "R3"),
+        "shr": (0x0C, "R3"),
+        "shli": (0x0D, "RRI16"),
+        "shri": (0x0E, "RRI16"),
+        "ld8": (0x10, "RM16"),
+        "ld16": (0x11, "RM16"),
+        "ld32": (0x12, "RM16"),
+        "ld64": (0x13, "RM16"),
+        "lds8": (0x14, "RM16"),
+        "lds16": (0x15, "RM16"),
+        "lds32": (0x16, "RM16"),
+        "st8": (0x17, "RM16"),
+        "st16": (0x18, "RM16"),
+        "st32": (0x19, "RM16"),
+        "st64": (0x1A, "RM16"),
+        "ldpc8": (0x1B, "RI16"),   # ldr reg, [pc + imm] (literal load)
+        "ldpc16": (0x1C, "RI16"),
+        "ldpc32": (0x1D, "RI16"),
+        "ldpc64": (0x1E, "RI16"),
+        "leapc": (0x1F, "RI16"),   # adr
+        "jmp": (0x30, "I26"),
+        "beq": (0x32, "RRI16"),
+        "bne": (0x33, "RRI16"),
+        "blt": (0x34, "RRI16"),
+        "bge": (0x35, "RRI16"),
+        "bgt": (0x36, "RRI16"),
+        "ble": (0x37, "RRI16"),
+        "jmpr": (0x38, "R1"),
+        "call": (0x39, "I26"),
+        "callr": (0x3A, "R1"),
+        "ret": (0x3B, "NONE"),
+        "trap": (0x3C, "NONE"),
+        "nop": (0x3D, "NONE"),
+        "syscall": (0x3E, "U8"),
+    }
+
+    _B = (-AARCH64_BRANCH_RANGE, AARCH64_BRANCH_RANGE - 1)
+    _I16 = (-0x8000, 0x7FFF)
+    pcrel_ranges = {
+        "jmp": _B,
+        "call": _B,
+        "beq": _I16,
+        "bne": _I16,
+        "blt": _I16,
+        "bge": _I16,
+        "bgt": _I16,
+        "ble": _I16,
+        "leapc": _I16,
+        "ldpc8": _I16,
+        "ldpc16": _I16,
+        "ldpc32": _I16,
+        "ldpc64": _I16,
+    }

@@ -1,0 +1,273 @@
+"""The architecture-neutral instruction model.
+
+An :class:`Instruction` is a mnemonic plus operands.  Encoding (and hence
+length) is a property of the architecture; the same ``add`` instruction is
+4 bytes on x86 and 4 bytes on ppc64, while ``jmp`` is 5 bytes on x86 and
+4 on the fixed-length architectures.
+
+Operand kinds:
+
+* register — a plain ``int`` register index (see :mod:`repro.isa.registers`);
+* immediate — a plain ``int``;
+* memory — a :class:`Mem` (base register + signed displacement).
+
+PC-relative instructions (``jmp``, ``call``, conditional branches,
+``leapc``, ``ldpc*``) carry their displacement as an immediate operand;
+the *target address* is ``insn.addr + disp`` uniformly on every
+architecture, which keeps relocation arithmetic in the rewriter simple.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.registers import reg_name
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A base-plus-displacement memory operand: ``[base + disp]``."""
+
+    base: int
+    disp: int
+
+    def __repr__(self):
+        sign = "+" if self.disp >= 0 else "-"
+        return f"[{reg_name(self.base)}{sign}{abs(self.disp):#x}]"
+
+
+# Mnemonics that end a basic block, and how.
+BRANCH_MNEMONICS = frozenset(
+    {"jmp", "jmp.s", "beq", "bne", "blt", "bge", "bgt", "ble", "jmpr"}
+)
+COND_BRANCH_MNEMONICS = frozenset({"beq", "bne", "blt", "bge", "bgt", "ble"})
+CALL_MNEMONICS = frozenset({"call", "callr"})
+RETURN_MNEMONICS = frozenset({"ret"})
+# Instructions whose immediate operand is a PC-relative displacement, and
+# the operand position of that displacement.
+PCREL_DISP_INDEX = {
+    "jmp": 0,
+    "jmp.s": 0,
+    "call": 0,
+    "beq": 2,
+    "bne": 2,
+    "blt": 2,
+    "bge": 2,
+    "bgt": 2,
+    "ble": 2,
+    "leapc": 1,
+    "ldpc8": 1,
+    "ldpc16": 1,
+    "ldpc32": 1,
+    "ldpc64": 1,
+}
+
+LOAD_MNEMONICS = frozenset(
+    {"ld8", "ld16", "ld32", "ld64", "lds8", "lds16", "lds32"}
+)
+STORE_MNEMONICS = frozenset({"st8", "st16", "st32", "st64"})
+PCREL_LOAD_MNEMONICS = frozenset({"ldpc8", "ldpc16", "ldpc32", "ldpc64"})
+
+LOAD_SIZES = {
+    "ld8": 1,
+    "ld16": 2,
+    "ld32": 4,
+    "ld64": 8,
+    "lds8": 1,
+    "lds16": 2,
+    "lds32": 4,
+    "ldpc8": 1,
+    "ldpc16": 2,
+    "ldpc32": 4,
+    "ldpc64": 8,
+}
+STORE_SIZES = {"st8": 1, "st16": 2, "st32": 4, "st64": 8}
+SIGNED_LOADS = frozenset({"lds8", "lds16", "lds32"})
+
+
+class Instruction:
+    """One decoded (or to-be-encoded) instruction.
+
+    ``addr`` is the address the instruction lives at (or will live at);
+    it participates in the semantics of PC-relative instructions.
+    ``length`` is filled in by the architecture's encoder/decoder.
+    """
+
+    __slots__ = ("mnemonic", "operands", "addr", "length")
+
+    def __init__(self, mnemonic, *operands, addr=None, length=None):
+        self.mnemonic = mnemonic
+        self.operands = tuple(operands)
+        self.addr = addr
+        self.length = length
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_branch(self):
+        return self.mnemonic in BRANCH_MNEMONICS
+
+    @property
+    def is_cond_branch(self):
+        return self.mnemonic in COND_BRANCH_MNEMONICS
+
+    @property
+    def is_call(self):
+        return self.mnemonic in CALL_MNEMONICS
+
+    @property
+    def is_return(self):
+        return self.mnemonic in RETURN_MNEMONICS
+
+    @property
+    def is_indirect_jump(self):
+        return self.mnemonic == "jmpr"
+
+    @property
+    def is_indirect_call(self):
+        return self.mnemonic == "callr"
+
+    @property
+    def is_terminator(self):
+        """Does this instruction end a basic block?"""
+        return (
+            self.is_branch
+            or self.is_return
+            or self.mnemonic in ("trap", "halt")
+            or (self.mnemonic == "syscall" and self.operands[0] == 0)
+        )
+
+    @property
+    def falls_through(self):
+        """Can execution continue to the next sequential instruction?"""
+        if self.mnemonic in ("jmp", "jmp.s", "jmpr", "ret", "trap", "halt"):
+            return False
+        if self.mnemonic == "syscall" and self.operands and self.operands[0] == 0:
+            return False  # exit syscall
+        return True
+
+    # -- PC-relative handling -------------------------------------------
+
+    @property
+    def pcrel_index(self):
+        """Operand index of the PC-relative displacement, or None."""
+        return PCREL_DISP_INDEX.get(self.mnemonic)
+
+    @property
+    def target(self):
+        """Absolute target/reference address of a PC-relative instruction."""
+        idx = self.pcrel_index
+        if idx is None or self.addr is None:
+            return None
+        return self.addr + self.operands[idx]
+
+    def with_disp(self, new_disp):
+        """Copy of this instruction with the PC-relative displacement replaced."""
+        idx = self.pcrel_index
+        if idx is None:
+            raise ValueError(f"{self.mnemonic} has no PC-relative displacement")
+        operands = list(self.operands)
+        operands[idx] = new_disp
+        return Instruction(
+            self.mnemonic, *operands, addr=self.addr, length=self.length
+        )
+
+    def retargeted(self, new_target):
+        """Copy with displacement chosen so the instruction aims at ``new_target``.
+
+        Requires ``addr`` to be set (target = addr + disp).
+        """
+        if self.addr is None:
+            raise ValueError("cannot retarget an instruction without an address")
+        return self.with_disp(new_target - self.addr)
+
+    def at(self, addr):
+        """Copy of this instruction placed at a (possibly new) address."""
+        return Instruction(
+            self.mnemonic, *self.operands, addr=addr, length=self.length
+        )
+
+    # -- misc -------------------------------------------------------------
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Instruction)
+            and self.mnemonic == other.mnemonic
+            and self.operands == other.operands
+        )
+
+    def __hash__(self):
+        return hash((self.mnemonic, self.operands))
+
+    def __repr__(self):
+        ops = ", ".join(_format_operand(self.mnemonic, i, op)
+                        for i, op in enumerate(self.operands))
+        loc = f"{self.addr:#x}: " if self.addr is not None else ""
+        return f"<{loc}{self.mnemonic} {ops}".rstrip() + ">"
+
+
+# Operand format strings, per mnemonic: 'r' register, 'i' immediate,
+# 'm' memory, 'u' unsigned immediate.  Used for pretty-printing and for
+# property-based operand generation in tests.
+OPERAND_KINDS = {
+    "mov": "rr",
+    "movi": "ri",
+    "lis": "ri",
+    "addis": "rri",
+    "adrp": "ri",
+    "addi": "rri",
+    "add": "rrr",
+    "sub": "rrr",
+    "mul": "rrr",
+    "and": "rrr",
+    "or": "rrr",
+    "xor": "rrr",
+    "shl": "rrr",
+    "shr": "rrr",
+    "shli": "rri",
+    "shri": "rri",
+    "inc": "r",
+    "ld8": "rm",
+    "ld16": "rm",
+    "ld32": "rm",
+    "ld64": "rm",
+    "lds8": "rm",
+    "lds16": "rm",
+    "lds32": "rm",
+    "st8": "rm",
+    "st16": "rm",
+    "st32": "rm",
+    "st64": "rm",
+    "ldpc8": "ri",
+    "ldpc16": "ri",
+    "ldpc32": "ri",
+    "ldpc64": "ri",
+    "leapc": "ri",
+    "push": "r",
+    "pop": "r",
+    "jmp": "i",
+    "jmp.s": "i",
+    "beq": "rri",
+    "bne": "rri",
+    "blt": "rri",
+    "bge": "rri",
+    "bgt": "rri",
+    "ble": "rri",
+    "jmpr": "r",
+    "call": "i",
+    "callr": "r",
+    "ret": "",
+    "trap": "",
+    "nop": "",
+    "syscall": "u",
+}
+
+
+def _format_operand(mnemonic, index, operand):
+    kinds = OPERAND_KINDS.get(mnemonic, "")
+    kind = kinds[index] if index < len(kinds) else "?"
+    if kind == "r":
+        return reg_name(operand)
+    if isinstance(operand, Mem):
+        return repr(operand)
+    if isinstance(operand, int):
+        return f"{operand:#x}" if abs(operand) > 9 else str(operand)
+    return repr(operand)

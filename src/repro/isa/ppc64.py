@@ -1,0 +1,99 @@
+"""The ppc64le-like architecture model.
+
+Fixed 4-byte instructions, so any basic block has room for a branch, but
+the single-instruction branch ``b``/``bl`` (modeled as ``jmp``/``call``)
+has a limited range — ±32 KB here, which is the real ±32 MB scaled by
+:data:`repro.isa.archspec.SIM_RANGE_SCALE`.  Long-range transfers use the
+paper's Table 2 sequence::
+
+    addis reg, r2(TOC), off@high
+    addi  reg, reg, off@low
+    mtspr tar, reg          (modeled as: mov ctr, reg)
+    bctar                   (modeled as: jmpr ctr)
+
+which is TOC-relative and therefore position independent.  Calls set the
+link register (``LR``); non-leaf functions spill it in their prologue,
+which is what the unwinder's recipes describe.
+
+This model also carries the ppc64 idiosyncrasy the paper highlights for
+jump tables (Section 5.1, Assumption 1): the toolchain embeds jump-table
+data in the code section immediately after the indirect jump, and the
+get-PC trick used to address it is modeled as the single ``leapc``
+instruction.
+"""
+
+from repro.isa.archspec import FixedLengthSpec, SIM_RANGE_SCALE
+
+#: Real ppc64 ``b`` reach is ±32 MB; scaled for simulation-sized binaries.
+PPC64_BRANCH_RANGE = (32 << 20) // SIM_RANGE_SCALE  # ±32 KiB
+
+
+class Ppc64Spec(FixedLengthSpec):
+    name = "ppc64"
+    function_alignment = 16
+    call_pushes_return_address = False
+
+    OPCODES = {
+        "mov": (0x01, "R2"),
+        "lis": (0x02, "RI16"),
+        "addis": (0x03, "RRI16"),
+        "addi": (0x04, "RRI16"),
+        "add": (0x05, "R3"),
+        "sub": (0x06, "R3"),
+        "mul": (0x07, "R3"),
+        "and": (0x08, "R3"),
+        "or": (0x09, "R3"),
+        "xor": (0x0A, "R3"),
+        "shl": (0x0B, "R3"),
+        "shr": (0x0C, "R3"),
+        "shli": (0x0D, "RRI16"),
+        "shri": (0x0E, "RRI16"),
+        "ld8": (0x10, "RM16"),
+        "ld16": (0x11, "RM16"),
+        "ld32": (0x12, "RM16"),
+        "ld64": (0x13, "RM16"),
+        "lds8": (0x14, "RM16"),
+        "lds16": (0x15, "RM16"),
+        "lds32": (0x16, "RM16"),
+        "st8": (0x17, "RM16"),
+        "st16": (0x18, "RM16"),
+        "st32": (0x19, "RM16"),
+        "st64": (0x1A, "RM16"),
+        "ldpc8": (0x1B, "RI16"),
+        "ldpc16": (0x1C, "RI16"),
+        "ldpc32": (0x1D, "RI16"),
+        "ldpc64": (0x1E, "RI16"),
+        "leapc": (0x1F, "RI16"),
+        "jmp": (0x30, "I26"),
+        "beq": (0x32, "RRI16"),
+        "bne": (0x33, "RRI16"),
+        "blt": (0x34, "RRI16"),
+        "bge": (0x35, "RRI16"),
+        "bgt": (0x36, "RRI16"),
+        "ble": (0x37, "RRI16"),
+        "jmpr": (0x38, "R1"),
+        "call": (0x39, "I26"),
+        "callr": (0x3A, "R1"),
+        "ret": (0x3B, "NONE"),
+        "trap": (0x3C, "NONE"),
+        "nop": (0x3D, "NONE"),
+        "syscall": (0x3E, "U8"),
+    }
+
+    _B = (-PPC64_BRANCH_RANGE, PPC64_BRANCH_RANGE - 1)
+    _I16 = (-0x8000, 0x7FFF)
+    pcrel_ranges = {
+        "jmp": _B,
+        "call": _B,
+        "beq": _I16,
+        "bne": _I16,
+        "blt": _I16,
+        "bge": _I16,
+        "bgt": _I16,
+        "ble": _I16,
+        "leapc": _I16,
+        "ldpc8": _I16,
+        "ldpc16": _I16,
+        "ldpc32": _I16,
+        "ldpc64": _I16,
+    }

@@ -1,0 +1,97 @@
+"""The x86-64-like architecture model.
+
+Variable-length encoding with the two properties the paper's trampoline
+design (Section 7, Table 2) depends on:
+
+* a **2-byte short branch** (``jmp.s``) with ±128-byte range — the only
+  branch that fits in very small basic blocks;
+* a **5-byte branch** (``jmp``) with ±2 GB range — always sufficient reach,
+  but needing five contiguous bytes.
+
+``call`` pushes the return address on the stack (so stack unwinding reads
+return addresses from memory), 1-byte ``ret``/``nop``/``trap``
+instructions exist, and blocks can be as short as one byte, which is what
+creates trap-trampoline pressure on this architecture.
+"""
+
+from repro.isa.archspec import VariableLengthSpec
+
+
+class X86Spec(VariableLengthSpec):
+    name = "x86"
+    function_alignment = 16
+    call_pushes_return_address = True
+
+    OPCODES = {
+        # data movement / arithmetic
+        "mov": (0x01, ("r", "r")),
+        "movi": (0x02, ("r", "i64")),
+        "addi": (0x03, ("r", "r", "i32")),
+        "add": (0x04, ("r", "r", "r")),
+        "sub": (0x05, ("r", "r", "r")),
+        "mul": (0x06, ("r", "r", "r")),
+        "and": (0x07, ("r", "r", "r")),
+        "or": (0x08, ("r", "r", "r")),
+        "xor": (0x09, ("r", "r", "r")),
+        "shl": (0x0A, ("r", "r", "r")),
+        "shr": (0x0B, ("r", "r", "r")),
+        "shli": (0x0C, ("r", "r", "i8")),
+        "shri": (0x0D, ("r", "r", "i8")),
+        "inc": (0x0E, ("r",)),
+        # loads / stores
+        "ld8": (0x10, ("r", "m32")),
+        "ld16": (0x11, ("r", "m32")),
+        "ld32": (0x12, ("r", "m32")),
+        "ld64": (0x13, ("r", "m32")),
+        "lds8": (0x14, ("r", "m32")),
+        "lds16": (0x15, ("r", "m32")),
+        "lds32": (0x16, ("r", "m32")),
+        "st8": (0x17, ("r", "m32")),
+        "st16": (0x18, ("r", "m32")),
+        "st32": (0x19, ("r", "m32")),
+        "st64": (0x1A, ("r", "m32")),
+        # PC-relative addressing (rip-relative)
+        "ldpc8": (0x1B, ("r", "i32")),
+        "ldpc16": (0x1C, ("r", "i32")),
+        "ldpc32": (0x1D, ("r", "i32")),
+        "ldpc64": (0x1E, ("r", "i32")),
+        "leapc": (0x1F, ("r", "i32")),
+        # stack
+        "push": (0x20, ("r",)),
+        "pop": (0x21, ("r",)),
+        # control flow
+        "jmp": (0x30, ("i32",)),
+        "jmp.s": (0x31, ("i8",)),
+        "beq": (0x32, ("r", "r", "i32")),
+        "bne": (0x33, ("r", "r", "i32")),
+        "blt": (0x34, ("r", "r", "i32")),
+        "bge": (0x35, ("r", "r", "i32")),
+        "bgt": (0x36, ("r", "r", "i32")),
+        "ble": (0x37, ("r", "r", "i32")),
+        "jmpr": (0x38, ("r",)),
+        "call": (0x39, ("i32",)),
+        "callr": (0x3A, ("r",)),
+        "ret": (0x3B, ()),
+        # misc
+        "trap": (0x3C, ()),
+        "nop": (0x3D, ()),
+        "syscall": (0x3E, ("u8",)),
+    }
+
+    _FULL = (-(1 << 31), (1 << 31) - 1)
+    pcrel_ranges = {
+        "jmp.s": (-0x80, 0x7F),
+        "jmp": _FULL,
+        "call": _FULL,
+        "beq": _FULL,
+        "bne": _FULL,
+        "blt": _FULL,
+        "bge": _FULL,
+        "bgt": _FULL,
+        "ble": _FULL,
+        "leapc": _FULL,
+        "ldpc8": _FULL,
+        "ldpc16": _FULL,
+        "ldpc32": _FULL,
+        "ldpc64": _FULL,
+    }

@@ -1,0 +1,37 @@
+"""The emulated machine: memory, CPU, kernel, loader and unwinder."""
+
+from repro.machine.costs import CostModel
+from repro.machine.cpu import CPU, DEFAULT_STEP_LIMIT
+from repro.machine.kernel import (
+    Kernel,
+    SYS_DYNTRANS,
+    SYS_EXIT,
+    SYS_GC,
+    SYS_PRINT,
+    SYS_THROW,
+)
+from repro.machine.loader import DEFAULT_PIE_BIAS, LoadedImage, load_binary
+from repro.machine.machine import Machine, RunResult, machine_for, run_binary
+from repro.machine.memory import Memory
+from repro.machine.unwind import Unwinder
+
+__all__ = [
+    "CostModel",
+    "CPU",
+    "DEFAULT_STEP_LIMIT",
+    "Kernel",
+    "SYS_EXIT",
+    "SYS_PRINT",
+    "SYS_THROW",
+    "SYS_GC",
+    "SYS_DYNTRANS",
+    "LoadedImage",
+    "load_binary",
+    "DEFAULT_PIE_BIAS",
+    "Machine",
+    "RunResult",
+    "machine_for",
+    "run_binary",
+    "Memory",
+    "Unwinder",
+]

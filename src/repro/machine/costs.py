@@ -1,0 +1,55 @@
+"""The deterministic cost model.
+
+The paper measures wall-clock overhead on real hardware; we replace that
+with cycle accounting chosen so the *mechanisms* the paper discusses have
+their relative costs:
+
+* a taken branch costs one extra cycle — the "ping-pong" between ``.text``
+  trampolines and ``.instr`` (Section 3) therefore costs two extra taken
+  branches per bounce, before i-cache effects;
+* a trap-based trampoline costs :attr:`CostModel.trap` cycles — a
+  kernel signal round trip is on the order of microseconds, thousands of
+  cycles — which is what makes hot trap trampolines "prohibitive"
+  (Sections 1, 7, and the Diogenes case study);
+* one call-frame unwind costs :attr:`CostModel.unwind_frame` cycles,
+  dwarfing the :attr:`CostModel.ra_translate` cycles added per frame by
+  runtime return-address translation — the paper's argument for why RA
+  translation overhead is negligible (Section 6);
+* a dynamic-translation lookup (the Multiverse baseline) costs
+  :attr:`CostModel.dyn_translate` cycles per indirect transfer.
+
+An optional direct-mapped instruction-cache model adds
+:attr:`CostModel.icache_miss` cycles per line miss, letting the evaluation
+confirm the paper's claim that bigger binaries need not mean more hot-code
+misses.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Cycle costs for the emulated machine."""
+
+    insn: int = 1
+    taken_branch: int = 1
+    call: int = 2
+    ret: int = 2
+    syscall: int = 10
+    trap: int = 5000
+    unwind_frame: int = 30
+    ra_translate: int = 2
+    dyn_translate: int = 25
+
+    icache_enabled: bool = False
+    icache_line_bits: int = 6      # 64-byte lines
+    icache_lines: int = 1024       # direct-mapped, 64 KiB total
+    icache_miss: int = 8
+
+    @classmethod
+    def default(cls):
+        return cls()
+
+    @classmethod
+    def with_icache(cls):
+        return cls(icache_enabled=True)

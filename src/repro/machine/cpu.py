@@ -1,0 +1,460 @@
+"""The CPU interpreter.
+
+Executes binary code directly from emulated memory bytes.  This is what
+makes the strong rewrite test (Section 8) meaningful: after rewriting, the
+original ``.text`` is filled with illegal bytes, so any control flow that
+the rewriter failed to intercept faults immediately instead of silently
+executing stale code.
+
+Each decoded instruction is compiled once into a Python closure keyed by
+address; repeated execution (loops) runs the closure without re-decoding.
+Costs follow :class:`repro.machine.costs.CostModel`.
+"""
+
+from repro.isa.insn import LOAD_SIZES, SIGNED_LOADS, STORE_SIZES
+from repro.isa.registers import LR, NUM_REGS, SP
+from repro.machine.costs import CostModel
+from repro.util.errors import (
+    DecodingError,
+    IllegalInstructionFault,
+    MachineFault,
+    UnmappedMemoryFault,
+)
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+#: Default dynamic-instruction budget per run.
+DEFAULT_STEP_LIMIT = 80_000_000
+
+_ARITH = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: a >> (b & 63),
+}
+
+_COND = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+    "bgt": lambda a, b: a > b,
+    "ble": lambda a, b: a <= b,
+}
+
+
+class CPU:
+    """One hardware thread executing from a :class:`Memory`."""
+
+    def __init__(self, memory, spec, kernel, costs=None,
+                 step_limit=DEFAULT_STEP_LIMIT):
+        self.memory = memory
+        self.spec = spec
+        self.kernel = kernel
+        self.costs = costs or CostModel.default()
+        self.step_limit = step_limit
+
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.cycles = 0
+        self.icount = 0
+        self.running = False
+        self.exit_code = None
+
+        # Counters surfaced to the evaluation harness.
+        self.taken_branches = 0
+        self.icache_misses = 0
+        self.transitions = 0
+
+        #: Optional pair of (lo, hi) address regions; transitions between
+        #: them are counted (used to measure .text <-> .instr bouncing).
+        self.watch_regions = None
+
+        self._compiled = {}
+
+    # -- public API --------------------------------------------------------
+
+    def invalidate_code(self):
+        """Drop compiled closures (call after writing to code memory)."""
+        self._compiled.clear()
+
+    def run(self, entry=None, step_limit=None):
+        """Execute until an exit syscall; returns the exit code."""
+        if entry is not None:
+            self.pc = entry
+        limit = step_limit if step_limit is not None else self.step_limit
+        compiled = self._compiled
+        compile_one = self._compile
+        costs = self.costs
+        icache_on = costs.icache_enabled
+        if icache_on:
+            line_bits = costs.icache_line_bits
+            nlines = costs.icache_lines
+            miss_cost = costs.icache_miss
+            tags = [-1] * nlines
+            mask = nlines - 1
+        watch = self.watch_regions
+        if watch:
+            (a_lo, a_hi), (b_lo, b_hi) = watch
+            prev_region = -1
+        self.running = True
+        steps = 0
+        while self.running:
+            pc = self.pc
+            fn = compiled.get(pc)
+            if fn is None:
+                fn = compile_one(pc)
+                compiled[pc] = fn
+            if icache_on:
+                line = pc >> line_bits
+                idx = line & mask
+                if tags[idx] != line:
+                    tags[idx] = line
+                    self.cycles += miss_cost
+                    self.icache_misses += 1
+            if watch:
+                if a_lo <= pc < a_hi:
+                    region = 0
+                elif b_lo <= pc < b_hi:
+                    region = 1
+                else:
+                    region = prev_region
+                if region != prev_region:
+                    if prev_region != -1:
+                        self.transitions += 1
+                    prev_region = region
+            fn()
+            steps += 1
+            self.cycles += 1
+            if steps >= limit:
+                raise MachineFault(
+                    f"step limit of {limit} exceeded at pc={self.pc:#x}",
+                    pc=self.pc,
+                )
+        self.icount += steps
+        return self.exit_code
+
+    # -- closure compiler -----------------------------------------------------
+
+    def _compile(self, addr):
+        data = self.memory.data
+        msize = self.memory.size
+        if addr < 0 or addr >= msize:
+            raise UnmappedMemoryFault(f"fetch at {addr:#x}", pc=addr)
+        try:
+            insn = self.spec.decode(data, addr, addr=addr)
+        except DecodingError as exc:
+            raise IllegalInstructionFault(
+                f"illegal instruction at {addr:#x}: {exc}", pc=addr
+            )
+        return self._make_closure(insn, data, msize)
+
+    def _make_closure(self, insn, data, msize):
+        self_ = self
+        regs = self.regs
+        m = insn.mnemonic
+        ops = insn.operands
+        addr = insn.addr
+        nxt = addr + insn.length
+        tb_cost = self.costs.taken_branch
+        call_cost = self.costs.call
+        ret_cost = self.costs.ret
+
+        if m == "nop":
+            def fn():
+                self_.pc = nxt
+            return fn
+
+        if m == "mov":
+            rd, ra = ops
+
+            def fn():
+                regs[rd] = regs[ra]
+                self_.pc = nxt
+            return fn
+
+        if m == "movi":
+            rd, imm = ops
+            value = imm & _MASK
+
+            def fn():
+                regs[rd] = value
+                self_.pc = nxt
+            return fn
+
+        if m == "lis":
+            rd, imm = ops
+            value = (imm << 16) & _MASK
+
+            def fn():
+                regs[rd] = value
+                self_.pc = nxt
+            return fn
+
+        if m == "addis":
+            rd, ra, imm = ops
+            delta = imm << 16
+
+            def fn():
+                regs[rd] = (regs[ra] + delta) & _MASK
+                self_.pc = nxt
+            return fn
+
+        if m == "adrp":
+            rd, imm = ops
+            value = ((addr & ~0xFFF) + (imm << 12)) & _MASK
+
+            def fn():
+                regs[rd] = value
+                self_.pc = nxt
+            return fn
+
+        if m == "addi":
+            rd, ra, imm = ops
+
+            def fn():
+                regs[rd] = (regs[ra] + imm) & _MASK
+                self_.pc = nxt
+            return fn
+
+        if m in _ARITH:
+            rd, ra, rb = ops
+            op = _ARITH[m]
+
+            def fn():
+                regs[rd] = op(regs[ra], regs[rb]) & _MASK
+                self_.pc = nxt
+            return fn
+
+        if m == "shli":
+            rd, ra, imm = ops
+            sh = imm & 63
+
+            def fn():
+                regs[rd] = (regs[ra] << sh) & _MASK
+                self_.pc = nxt
+            return fn
+
+        if m == "shri":
+            rd, ra, imm = ops
+            sh = imm & 63
+
+            def fn():
+                regs[rd] = regs[ra] >> sh
+                self_.pc = nxt
+            return fn
+
+        if m == "inc":
+            (rd,) = ops
+
+            def fn():
+                regs[rd] = (regs[rd] + 1) & _MASK
+                self_.pc = nxt
+            return fn
+
+        if m in LOAD_SIZES and not m.startswith("ldpc"):
+            rd, mem_op = ops
+            base = mem_op.base
+            disp = mem_op.disp
+            size = LOAD_SIZES[m]
+            signed = m in SIGNED_LOADS
+            bits = size * 8
+            sign_bit = 1 << (bits - 1)
+            wrap = 1 << bits
+
+            def fn():
+                a = (regs[base] + disp) & _MASK
+                if a + size > msize:
+                    raise UnmappedMemoryFault(
+                        f"load at {a:#x} (pc={addr:#x})", pc=addr
+                    )
+                v = int.from_bytes(data[a:a + size], "little")
+                if signed and v & sign_bit:
+                    v = (v - wrap) & _MASK
+                regs[rd] = v
+                self_.pc = nxt
+            return fn
+
+        if m in STORE_SIZES:
+            rs, mem_op = ops
+            base = mem_op.base
+            disp = mem_op.disp
+            size = STORE_SIZES[m]
+            vmask = (1 << (size * 8)) - 1
+
+            def fn():
+                a = (regs[base] + disp) & _MASK
+                if a + size > msize:
+                    raise UnmappedMemoryFault(
+                        f"store at {a:#x} (pc={addr:#x})", pc=addr
+                    )
+                data[a:a + size] = (regs[rs] & vmask).to_bytes(size, "little")
+                self_.pc = nxt
+            return fn
+
+        if m.startswith("ldpc"):
+            rd, disp = ops
+            size = LOAD_SIZES[m]
+            a = addr + disp
+
+            def fn():
+                if a < 0 or a + size > msize:
+                    raise UnmappedMemoryFault(
+                        f"pc-relative load at {a:#x}", pc=addr
+                    )
+                regs[rd] = int.from_bytes(data[a:a + size], "little")
+                self_.pc = nxt
+            return fn
+
+        if m == "leapc":
+            rd, disp = ops
+            value = (addr + disp) & _MASK
+
+            def fn():
+                regs[rd] = value
+                self_.pc = nxt
+            return fn
+
+        if m == "push":
+            (rs,) = ops
+
+            def fn():
+                sp = (regs[SP] - 8) & _MASK
+                if sp + 8 > msize:
+                    raise UnmappedMemoryFault(f"push at {sp:#x}", pc=addr)
+                data[sp:sp + 8] = regs[rs].to_bytes(8, "little")
+                regs[SP] = sp
+                self_.pc = nxt
+            return fn
+
+        if m == "pop":
+            (rd,) = ops
+
+            def fn():
+                sp = regs[SP]
+                if sp + 8 > msize:
+                    raise UnmappedMemoryFault(f"pop at {sp:#x}", pc=addr)
+                regs[rd] = int.from_bytes(data[sp:sp + 8], "little")
+                regs[SP] = (sp + 8) & _MASK
+                self_.pc = nxt
+            return fn
+
+        if m in ("jmp", "jmp.s"):
+            target = addr + ops[0]
+
+            def fn():
+                self_.pc = target
+                self_.cycles += tb_cost
+                self_.taken_branches += 1
+            return fn
+
+        if m in _COND:
+            ra, rb, disp = ops
+            target = addr + disp
+            cond = _COND[m]
+
+            def fn():
+                x = regs[ra]
+                y = regs[rb]
+                if x >= _SIGN:
+                    x -= 1 << 64
+                if y >= _SIGN:
+                    y -= 1 << 64
+                if cond(x, y):
+                    self_.pc = target
+                    self_.cycles += tb_cost
+                    self_.taken_branches += 1
+                else:
+                    self_.pc = nxt
+            return fn
+
+        if m == "jmpr":
+            (rt,) = ops
+
+            def fn():
+                self_.pc = regs[rt]
+                self_.cycles += tb_cost
+                self_.taken_branches += 1
+            return fn
+
+        if m == "call":
+            target = addr + ops[0]
+            if self.spec.call_pushes_return_address:
+                def fn():
+                    sp = (regs[SP] - 8) & _MASK
+                    if sp + 8 > msize:
+                        raise UnmappedMemoryFault(f"call at {sp:#x}", pc=addr)
+                    data[sp:sp + 8] = nxt.to_bytes(8, "little")
+                    regs[SP] = sp
+                    self_.pc = target
+                    self_.cycles += call_cost
+                    self_.taken_branches += 1
+            else:
+                def fn():
+                    regs[LR] = nxt
+                    self_.pc = target
+                    self_.cycles += call_cost
+                    self_.taken_branches += 1
+            return fn
+
+        if m == "callr":
+            (rt,) = ops
+            if self.spec.call_pushes_return_address:
+                def fn():
+                    sp = (regs[SP] - 8) & _MASK
+                    if sp + 8 > msize:
+                        raise UnmappedMemoryFault(f"callr at {sp:#x}", pc=addr)
+                    data[sp:sp + 8] = nxt.to_bytes(8, "little")
+                    regs[SP] = sp
+                    self_.pc = regs[rt]
+                    self_.cycles += call_cost
+                    self_.taken_branches += 1
+            else:
+                def fn():
+                    regs[LR] = nxt
+                    self_.pc = regs[rt]
+                    self_.cycles += call_cost
+                    self_.taken_branches += 1
+            return fn
+
+        if m == "ret":
+            if self.spec.call_pushes_return_address:
+                def fn():
+                    sp = regs[SP]
+                    if sp + 8 > msize:
+                        raise UnmappedMemoryFault(f"ret at {sp:#x}", pc=addr)
+                    self_.pc = int.from_bytes(data[sp:sp + 8], "little")
+                    regs[SP] = (sp + 8) & _MASK
+                    self_.cycles += ret_cost
+                    self_.taken_branches += 1
+            else:
+                def fn():
+                    self_.pc = regs[LR]
+                    self_.cycles += ret_cost
+                    self_.taken_branches += 1
+            return fn
+
+        if m == "trap":
+            def fn():
+                self_.pc = addr
+                self_.kernel.handle_trap(self_)
+            return fn
+
+        if m == "syscall":
+            (num,) = ops
+
+            def fn():
+                self_.pc = addr
+                self_.kernel.syscall(self_, num)
+                if self_.running and self_.pc == addr:
+                    self_.pc = nxt
+            return fn
+
+        raise IllegalInstructionFault(
+            f"unimplemented mnemonic {m} at {addr:#x}", pc=addr
+        )

@@ -1,0 +1,66 @@
+"""Loading binaries into emulated memory.
+
+Handles the load bias for position-independent binaries and applies the
+run-time relocations from ``.rela.dyn`` — the entries Egalito/RetroWrite
+build their whole approach on, and which the loader (not the rewriter)
+owns at run time.
+"""
+
+from repro.binfmt.binary import PIE, SHLIB
+from repro.util.errors import ReproError
+
+#: Load bias used for position-independent images (ASLR stand-in; fixed so
+#: runs are deterministic, non-zero so absolute-address bugs surface).
+DEFAULT_PIE_BIAS = 0x40000
+
+
+class LoadedImage:
+    """One binary mapped into memory at ``bias``."""
+
+    def __init__(self, binary, bias):
+        self.binary = binary
+        self.bias = bias
+        alloc = binary.alloc_sections()
+        if not alloc:
+            raise ReproError(f"binary {binary.name} has no loadable sections")
+        self.low = min(s.addr for s in alloc) + bias
+        self.high = max(s.end for s in alloc) + bias
+
+    def contains(self, addr):
+        return self.low <= addr < self.high
+
+    def to_orig(self, addr):
+        """Loaded address -> original (link-time) address."""
+        return addr - self.bias
+
+    def to_loaded(self, addr):
+        """Original (link-time) address -> loaded address."""
+        return addr + self.bias
+
+    def __repr__(self):
+        return (
+            f"<LoadedImage {self.binary.name} bias={self.bias:#x} "
+            f"[{self.low:#x},{self.high:#x})>"
+        )
+
+
+def load_binary(binary, memory, bias=None):
+    """Map ``binary`` into ``memory`` and apply run-time relocations.
+
+    Returns a :class:`LoadedImage`.  Position-dependent executables load
+    at bias 0 (their addresses are absolute); PIE/shared objects default
+    to :data:`DEFAULT_PIE_BIAS`.
+    """
+    if bias is None:
+        bias = DEFAULT_PIE_BIAS if binary.kind in (PIE, SHLIB) else 0
+    if binary.kind not in (PIE, SHLIB) and bias != 0:
+        raise ReproError(
+            f"{binary.name} is position-dependent; it cannot load at "
+            f"bias {bias:#x}"
+        )
+    for section in binary.alloc_sections():
+        memory.write_bytes(section.addr + bias, bytes(section.data))
+    for reloc in binary.relocations:
+        memory.write_int(reloc.where + bias, reloc.value_for_bias(bias),
+                         reloc.size)
+    return LoadedImage(binary, bias)

@@ -1,0 +1,25 @@
+"""Synthetic toolchain: IR, reference interpreter, assembler, compiler,
+language profiles and workload generators."""
+
+from repro.toolchain import ir
+from repro.toolchain.codegen import (
+    CodegenError,
+    Compiler,
+    RUNTIME_SUPPORT_FUNCS,
+    compile_program,
+)
+from repro.toolchain.interp import Interpreter, interpret
+from repro.toolchain.langs import LangProfile, PROFILES, profile
+
+__all__ = [
+    "ir",
+    "compile_program",
+    "Compiler",
+    "CodegenError",
+    "RUNTIME_SUPPORT_FUNCS",
+    "Interpreter",
+    "interpret",
+    "LangProfile",
+    "PROFILES",
+    "profile",
+]

@@ -1,0 +1,334 @@
+"""Label-based assembler used by the code generator.
+
+The code generator emits *chunks* into *streams* (one per output section).
+A two-phase layout pass first assigns addresses (chunk sizes depend only
+on mnemonics and alignment), then renders bytes, resolving label fixups —
+PC-relative displacements, jump-table entries, and absolute pointer slots
+(which also yield relocation records).
+"""
+
+from repro.isa.insn import Instruction
+from repro.util.errors import EncodingError, ReproError
+
+
+class Label:
+    """A named location; ``addr`` is filled in during layout."""
+
+    __slots__ = ("name", "addr")
+
+    def __init__(self, name):
+        self.name = name
+        self.addr = None
+
+    def resolved(self):
+        if self.addr is None:
+            raise ReproError(f"label {self.name} was never bound")
+        return self.addr
+
+    def __repr__(self):
+        loc = f"@{self.addr:#x}" if self.addr is not None else "?"
+        return f"<Label {self.name} {loc}>"
+
+
+class _Chunk:
+    def size(self, spec, addr):
+        raise NotImplementedError
+
+    def render(self, spec, addr, out):
+        raise NotImplementedError
+
+
+class _LabelChunk(_Chunk):
+    def __init__(self, label):
+        self.label = label
+
+    def size(self, spec, addr):
+        self.label.addr = addr
+        return 0
+
+    def render(self, spec, addr, out):
+        pass
+
+
+class _InsnChunk(_Chunk):
+    """One instruction; ``target`` (a Label) overrides the PC-relative
+    displacement at render time."""
+
+    def __init__(self, insn, target=None):
+        self.insn = insn
+        self.target = target
+        self.addr = None
+
+    def size(self, spec, addr):
+        self.addr = addr
+        return spec.insn_length(self.insn)
+
+    def render(self, spec, addr, out):
+        insn = self.insn.at(addr)
+        if self.target is not None:
+            insn = insn.retargeted(self.target.resolved())
+        out += spec.encode(insn)
+
+
+class _BytesChunk(_Chunk):
+    def __init__(self, data):
+        self.data = bytes(data)
+
+    def size(self, spec, addr):
+        return len(self.data)
+
+    def render(self, spec, addr, out):
+        out += self.data
+
+
+class _AlignChunk(_Chunk):
+    """Pad to an alignment — with ``nop`` instructions in code streams
+    (usable later as trampoline scratch), zero bytes in data streams."""
+
+    def __init__(self, alignment, fill="nop"):
+        self.alignment = alignment
+        self.fill = fill
+
+    def _gap(self, addr):
+        rem = addr % self.alignment
+        return 0 if rem == 0 else self.alignment - rem
+
+    def size(self, spec, addr):
+        return self._gap(addr)
+
+    def render(self, spec, addr, out):
+        gap = self._gap(addr)
+        if self.fill == "zero":
+            out += b"\0" * gap
+            return
+        nop = spec.encode(Instruction("nop"))
+        count, rem = divmod(gap, len(nop))
+        if rem:
+            raise ReproError(
+                f"alignment gap {gap} not a multiple of nop size {len(nop)}"
+            )
+        out += nop * count
+
+
+class _TableChunk(_Chunk):
+    """A jump table: one entry per target label.
+
+    ``entry = (target.addr - base.addr) >> shift`` stored in
+    ``entry_size`` bytes (signed entries allowed).  Entries are relative,
+    so the table itself needs no relocations and is PIE-safe — the layout
+    real compilers use, and what makes jump-table *cloning* (rather than
+    in-place patching) necessary in the rewriter.
+    """
+
+    def __init__(self, base, targets, entry_size, shift=0, signed=True):
+        self.base = base
+        self.targets = list(targets)
+        self.entry_size = entry_size
+        self.shift = shift
+        self.signed = signed
+
+    def size(self, spec, addr):
+        return len(self.targets) * self.entry_size
+
+    def render(self, spec, addr, out):
+        base = self.base.resolved()
+        for target in self.targets:
+            delta = target.resolved() - base
+            if self.shift:
+                if delta % (1 << self.shift):
+                    raise EncodingError(
+                        f"jump-table target delta {delta:#x} not aligned "
+                        f"for shift {self.shift}"
+                    )
+                delta >>= self.shift
+            try:
+                out += delta.to_bytes(self.entry_size, "little",
+                                      signed=self.signed)
+            except OverflowError:
+                raise EncodingError(
+                    f"jump-table entry {delta:#x} does not fit "
+                    f"{self.entry_size} byte(s)"
+                )
+
+
+class _PointerChunk(_Chunk):
+    """An 8-byte data slot holding ``label.addr + delta``.
+
+    Rendered as the absolute link-time address; the stream records a
+    pointer-slot note so the linker can emit the matching relocation
+    (R_RELATIVE for PIE, retained R_ABS64 otherwise).
+    """
+
+    def __init__(self, label, delta=0):
+        self.label = label
+        self.delta = delta
+        self.addr = None
+
+    def size(self, spec, addr):
+        self.addr = addr
+        return 8
+
+    def render(self, spec, addr, out):
+        value = self.label.resolved() + self.delta
+        out += value.to_bytes(8, "little")
+
+
+class _AbsInsnChunk(_Chunk):
+    """An instruction whose immediate operand is an absolute label address.
+
+    Used for x86 position-dependent code (``movi reg, &label``).  The
+    chunk records its site so the linker can emit a link-time relocation
+    when the workload is built with ``-Wl,-q``.
+    """
+
+    def __init__(self, insn, op_index, label, delta=0):
+        self.insn = insn
+        self.op_index = op_index
+        self.label = label
+        self.delta = delta
+        self.addr = None
+
+    def size(self, spec, addr):
+        self.addr = addr
+        return spec.insn_length(self.insn)
+
+    def render(self, spec, addr, out):
+        operands = list(self.insn.operands)
+        operands[self.op_index] = self.label.resolved() + self.delta
+        out += spec.encode(
+            Instruction(self.insn.mnemonic, *operands, addr=addr)
+        )
+
+
+class _TocAddrChunk(_Chunk):
+    """ppc64 TOC-relative address materialization (2 instructions)::
+
+        addis reg, TOC, (label - toc_anchor)@high
+        addi  reg, reg, (label - toc_anchor)@low
+
+    Position independent: the loader biases the TOC register.
+    """
+
+    def __init__(self, reg, label, toc_anchor, delta=0, toc_reg=18):
+        self.reg = reg
+        self.label = label
+        self.toc_anchor = toc_anchor
+        self.delta = delta
+        self.toc_reg = toc_reg
+
+    def size(self, spec, addr):
+        return 8
+
+    def render(self, spec, addr, out):
+        offset = self.label.resolved() + self.delta - self.toc_anchor.resolved()
+        lo = ((offset + 0x8000) & 0xFFFF) - 0x8000
+        hi = (offset - lo) >> 16
+        out += spec.encode(Instruction("addis", self.reg, self.toc_reg, hi,
+                                       addr=addr))
+        out += spec.encode(Instruction("addi", self.reg, self.reg, lo,
+                                       addr=addr + 4))
+
+
+class _PageAddrChunk(_Chunk):
+    """aarch64 page-relative address materialization (2 instructions)::
+
+        adrp reg, label@page
+        addi reg, reg, label@pageoff
+
+    Position independent (PC-relative pages).
+    """
+
+    def __init__(self, reg, label, delta=0):
+        self.reg = reg
+        self.label = label
+        self.delta = delta
+
+    def size(self, spec, addr):
+        return 8
+
+    def render(self, spec, addr, out):
+        target = self.label.resolved() + self.delta
+        page_hi = (target >> 12) - (addr >> 12)
+        page_off = target & 0xFFF
+        out += spec.encode(Instruction("adrp", self.reg, page_hi, addr=addr))
+        out += spec.encode(Instruction("addi", self.reg, self.reg, page_off,
+                                       addr=addr + 4))
+
+
+class Stream:
+    """A sequence of chunks destined for one section."""
+
+    def __init__(self, name):
+        self.name = name
+        self.chunks = []
+        self.pointer_slots = []   # _PointerChunk instances (for relocs)
+        self.abs_sites = []       # _AbsInsnChunk instances (link relocs)
+
+    # -- emission helpers --------------------------------------------------
+
+    def label(self, label_or_name):
+        label = (label_or_name if isinstance(label_or_name, Label)
+                 else Label(label_or_name))
+        self.chunks.append(_LabelChunk(label))
+        return label
+
+    def emit(self, mnemonic, *operands, target=None):
+        insn = Instruction(mnemonic, *operands)
+        self.chunks.append(_InsnChunk(insn, target))
+        return insn
+
+    def raw(self, data):
+        self.chunks.append(_BytesChunk(data))
+
+    def align(self, alignment, fill="nop"):
+        self.chunks.append(_AlignChunk(alignment, fill))
+
+    def table(self, base, targets, entry_size, shift=0, signed=True):
+        self.chunks.append(
+            _TableChunk(base, targets, entry_size, shift, signed)
+        )
+
+    def pointer(self, label, delta=0):
+        chunk = _PointerChunk(label, delta)
+        self.chunks.append(chunk)
+        self.pointer_slots.append(chunk)
+        return chunk
+
+    def u64(self, value):
+        self.raw((value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def abs_insn(self, mnemonic, operands, op_index, label, delta=0):
+        """Instruction with an absolute label-address immediate operand."""
+        chunk = _AbsInsnChunk(
+            Instruction(mnemonic, *operands), op_index, label, delta
+        )
+        self.chunks.append(chunk)
+        self.abs_sites.append(chunk)
+        return chunk
+
+    def toc_addr(self, reg, label, toc_anchor, delta=0):
+        """ppc64: reg = &label (+delta), TOC-relative (2 instructions)."""
+        self.chunks.append(_TocAddrChunk(reg, label, toc_anchor, delta))
+
+    def page_addr(self, reg, label, delta=0):
+        """aarch64: reg = &label (+delta), page-relative (2 instructions)."""
+        self.chunks.append(_PageAddrChunk(reg, label, delta))
+
+    # -- layout -----------------------------------------------------------------
+
+    def assign_addresses(self, spec, base_addr):
+        """Phase 1: bind labels and return the stream's total size."""
+        addr = base_addr
+        for chunk in self.chunks:
+            addr += chunk.size(spec, addr)
+        return addr - base_addr
+
+    def render(self, spec, base_addr):
+        """Phase 2: produce the stream's bytes (labels must be bound)."""
+        out = bytearray()
+        addr = base_addr
+        for chunk in self.chunks:
+            before = len(out)
+            chunk.render(spec, addr, out)
+            addr += len(out) - before
+        return bytes(out)

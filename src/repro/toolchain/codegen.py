@@ -1,0 +1,1018 @@
+"""The per-architecture code generator and linker.
+
+Lowers :class:`~repro.toolchain.ir.Program` trees to synthetic binaries,
+producing on purpose every construct the paper's analyses and rewriting
+modes are built for:
+
+* jump tables — ``.rodata``-resident on x86, *embedded in the code
+  section* on ppc64 (Section 5.1, Assumption 1), with 1-/2-byte entries
+  on aarch64;
+* function pointers — initialized data slots with relocations, vtable
+  tables, Go's relocation-free runtime-computed tables, and the
+  "entry+1" arithmetic of paper Listing 1;
+* C++ exception metadata — unwind recipes and landing-pad tables;
+* Go runtime metadata — a pclntab-style function table;
+* call-frame conventions per architecture (pushed return address on x86,
+  link register spilled in the prologue on ppc64/aarch64);
+* inter-function nop padding (trampoline scratch space), and dead
+  ``.dynsym``/``.dynstr``/``.rela_dyn`` byte payloads the rewriter later
+  reuses as scratch.
+
+Calling convention: arguments in R1..R3, result in R0, locals in R4..R13
+(R4..R12 in functions needing three codegen temporaries), temporaries in
+R14/R15.  Parameters are copied into local registers in the prologue.
+"""
+
+from repro.binfmt import (
+    Binary,
+    DEFAULT_BASE,
+    EXEC,
+    FuncRange,
+    LandingPad,
+    LinkReloc,
+    PIE,
+    RA_IN_LR,
+    RA_ON_STACK,
+    R_ABS64,
+    R_RELATIVE,
+    Relocation,
+    Section,
+    Symbol,
+    SymbolTable,
+    UnwindRecipe,
+    UnwindTable,
+)
+from repro.binfmt.symbols import FUNC, GLOBAL, LOCAL, OBJECT
+from repro.isa import get_arch
+from repro.isa.archspec import FixedLengthSpec
+from repro.isa.insn import Mem
+from repro.isa.registers import CTR, LR, R0, R1, SP, TOC
+from repro.toolchain import ir
+from repro.toolchain.asm import Label, Stream
+from repro.toolchain.langs import profile as lang_profile
+from repro.util.errors import ReproError
+from repro.util.ints import align_up, sign_extend
+
+ARG_REGS = (1, 2, 3)          # R1..R3
+FIRST_LOCAL = 4
+
+#: Functions modeling unwinding machinery that lives in *unrewritten*
+#: shared libraries (libstdc++'s throw path, Go's traceback entry); every
+#: rewriting approach leaves them in place.
+RUNTIME_SUPPORT_FUNCS = ("__throw_helper", "runtime.gc_entry")
+
+#: Combined .text+.rodata budget on fixed-length architectures, keeping
+#: all *original-binary* direct branches within the scaled single-branch
+#: range (real toolchains rely on linker veneers beyond this; our
+#: rewriters implement veneers, the toolchain does not need to).
+FIXED_ARCH_CODE_BUDGET = 0x7800
+
+_INVERSE_BRANCH = {
+    "==": "bne", "!=": "beq",
+    "<": "bge", "<=": "bgt",
+    ">": "ble", ">=": "blt",
+}
+
+
+class CodegenError(ReproError):
+    """The IR program violates a code-generator constraint."""
+
+
+def _stmt_count(stmts):
+    """Recursive statement count (sizing heuristics)."""
+    total = 0
+    for stmt in stmts:
+        total += 1
+        for attr in ("body", "then", "els", "handler", "default"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                total += _stmt_count(inner)
+        if isinstance(stmt, ir.Switch):
+            for case in stmt.cases:
+                total += _stmt_count(case)
+    return total
+
+
+def compile_program(program, arch, pie=None):
+    """Compile ``program`` for ``arch``; returns a :class:`Binary`.
+
+    ``pie`` overrides ``program.options['pie']`` when given.
+    """
+    compiler = Compiler(program, arch, pie=pie)
+    return compiler.compile()
+
+
+class Compiler:
+    """One compilation of a program for one architecture."""
+
+    def __init__(self, program, arch, pie=None):
+        self.program = program
+        self.spec = get_arch(arch) if isinstance(arch, str) else arch
+        self.profile = lang_profile(program.lang)
+        options = dict(program.options)
+        if pie is not None:
+            options["pie"] = pie
+        self.options = options
+        self.pie = bool(options.get("pie", False))
+
+        self.text = Stream(".text")
+        self.rodata = Stream(".rodata")
+        self.data = Stream(".data")
+
+        self.text_start = self.text.label("__text_start")
+        self.toc_anchor = Label("__toc_anchor")
+
+        self.fn_labels = {}
+        self.fn_end_labels = {}
+        self.global_labels = {}
+        self.global_cell_counts = {}
+
+        self._unwind_records = []     # (start_lab, end_lab, frame, rule, off)
+        self._landing_records = []    # (start_lab, end_lab, handler_lab)
+        self._call_sites = []         # (_InsnChunk, callee name)
+        self.jump_table_truth = []    # ground-truth dicts for tests
+        self._functab_label = None
+        self._go_functab_funcs = []
+
+    # -- label helpers ------------------------------------------------------
+
+    def fn_label(self, name):
+        if name not in self.fn_labels:
+            self.fn_labels[name] = Label(f"fn:{name}")
+        return self.fn_labels[name]
+
+    def global_label(self, name):
+        if name not in self.global_labels:
+            self.global_labels[name] = Label(f"g:{name}")
+        return self.global_labels[name]
+
+    # -- address materialization (the per-arch idioms) --------------------------
+
+    def emit_addr(self, stream, reg, label):
+        """reg = &label, using the architecture's addressing idiom."""
+        name = self.spec.name
+        if name == "x86":
+            if self.pie:
+                stream.emit("leapc", reg, 0, target=label)
+            else:
+                stream.abs_insn("movi", (reg, 0), 1, label)
+        elif name == "ppc64":
+            stream.toc_addr(reg, label, self.toc_anchor)
+        elif name == "aarch64":
+            stream.page_addr(reg, label)
+        else:  # pragma: no cover - new arch hook
+            raise CodegenError(f"no addressing idiom for {name}")
+
+    def emit_const(self, stream, reg, value):
+        """reg = value (32-bit signed constants)."""
+        if not -(1 << 31) <= value < (1 << 31):
+            raise CodegenError(f"constant {value:#x} out of 32-bit range")
+        if self.spec.name == "x86":
+            stream.emit("movi", reg, value)
+        else:
+            lo = sign_extend(value, 16)
+            hi = (value - lo) >> 16
+            stream.emit("lis", reg, hi)
+            stream.emit("addi", reg, reg, lo)
+
+    def emit_indirect(self, stream, reg, call=False):
+        """Indirect transfer through ``reg`` (via CTR on ppc64)."""
+        if self.spec.name == "ppc64":
+            stream.emit("mov", CTR, reg)
+            stream.emit("callr" if call else "jmpr", CTR)
+        else:
+            stream.emit("callr" if call else "jmpr", reg)
+
+    # -- top level -----------------------------------------------------------------
+
+    def compile(self):
+        self._emit_data()
+        self._emit_start()
+        for func in self.program.functions:
+            _FunctionCompiler(self, func).compile()
+        self._emit_runtime_support()
+        if self.profile.go_runtime:
+            self._emit_go_functab()
+        return self._link()
+
+    # -- data -------------------------------------------------------------------
+
+    def _emit_data(self):
+        self.data.label(self.toc_anchor)
+        all_globals = list(self.program.globals)
+        if not any(g.name == "__opaque_zero" for g in all_globals):
+            all_globals.append(ir.GlobalVar("__opaque_zero", 0))
+        for gvar in all_globals:
+            self.data.align(8, fill="zero")
+            self.data.label(self.global_label(gvar.name))
+            inits = (gvar.init if isinstance(gvar.init, list)
+                     else [gvar.init])
+            self.global_cell_counts[gvar.name] = len(inits)
+            for value in inits:
+                if isinstance(value, str):
+                    if not value.startswith("&"):
+                        raise CodegenError(f"bad initializer {value!r}")
+                    self.data.pointer(self.fn_label(value[1:]))
+                else:
+                    self.data.u64(value)
+
+    # -- special functions -----------------------------------------------------------
+
+    def _emit_start(self):
+        """_start: call runtime init (Go), then main, then exit."""
+        start = ir.Function(
+            "_start",
+            body=(
+                ([ir.Call(None, "runtime.typesinit")]
+                 if self.profile.go_runtime else [])
+                + [ir.Call("__rc", "main"), ir.Exit("__rc")]
+            ),
+        )
+        _FunctionCompiler(self, start).compile()
+
+    def _emit_runtime_support(self):
+        """The throw helper / Go GC entry (see RUNTIME_SUPPORT_FUNCS)."""
+        text = self.text
+        wanted = []
+        if self.profile.uses_exceptions:
+            wanted.append(("__throw_helper", 2))
+        if self.profile.go_runtime:
+            wanted.append(("runtime.gc_entry", 3))
+        for name, sysno in wanted:
+            text.align(self.spec.function_alignment)
+            entry = text.label(self.fn_label(name))
+            text.emit("syscall", sysno)
+            text.emit("ret")
+            end = text.label(Label(f"end:{name}"))
+            self.fn_end_labels[name] = end
+            if self.spec.call_pushes_return_address:
+                self._unwind_records.append(
+                    (entry, end, 8, RA_ON_STACK, 0, ())
+                )
+            else:
+                self._unwind_records.append(
+                    (entry, end, 0, RA_IN_LR, 0, ())
+                )
+
+    def _emit_go_functab(self):
+        """Pack the 4-byte function-offset table Go's typesinit reads.
+
+        Lives in *writable* module data (Go's runtime initializes its
+        module data structures at startup), so static analysis cannot
+        constant-fold the offsets — which is what makes Go's
+        runtime-built function tables impervious to precise
+        function-pointer analysis (Section 8.2).
+        """
+        if self._functab_label is None:
+            return
+        self.data.align(8, fill="zero")
+        self.data.label(self._functab_label)
+        self.data.table(
+            self.text_start,
+            [self.fn_label(name) for name in self._go_functab_funcs],
+            entry_size=4,
+            shift=0,
+            signed=False,
+        )
+
+    def go_functab(self, funcs):
+        """Register the function list backing GoVtabInit; returns its label."""
+        if self._functab_label is None:
+            self._functab_label = Label("go_functab")
+            self._go_functab_funcs = list(funcs)
+        elif list(funcs) != self._go_functab_funcs:
+            raise CodegenError("multiple GoVtabInit function lists")
+        return self._functab_label
+
+    # -- linking ------------------------------------------------------------------
+
+    def _link(self):
+        spec = self.spec
+        base = DEFAULT_BASE
+        note_size = 64
+
+        text_base = align_up(base + note_size, 16)
+        text_size = self.text.assign_addresses(spec, text_base)
+        rodata_base = align_up(text_base + text_size, 16)
+        rodata_size = self.rodata.assign_addresses(spec, rodata_base)
+        data_base = align_up(rodata_base + rodata_size, 16)
+        data_size = self.data.assign_addresses(spec, data_base)
+
+        if isinstance(spec, FixedLengthSpec):
+            if text_size + rodata_size > FIXED_ARCH_CODE_BUDGET:
+                raise CodegenError(
+                    f"code+rodata {text_size + rodata_size:#x} exceeds the "
+                    f"fixed-architecture budget {FIXED_ARCH_CODE_BUDGET:#x}; "
+                    f"shrink the workload (the toolchain emits no veneers)"
+                )
+
+        text_bytes = self.text.render(spec, text_base)
+        rodata_bytes = self.rodata.render(spec, rodata_base)
+        data_bytes = self.data.render(spec, data_base)
+
+        binary = Binary(
+            self.program.name,
+            spec.name,
+            PIE if self.pie else EXEC,
+            entry=self.fn_labels["_start"].resolved(),
+        )
+        binary.add_section(
+            Section(".note", base, b"SYNTH-INTERP".ljust(note_size, b"\0"),
+                    ("ALLOC",), 16)
+        )
+        binary.add_section(
+            Section(".text", text_base, text_bytes, ("ALLOC", "EXEC"), 16)
+        )
+        binary.add_section(
+            Section(".rodata", rodata_base, rodata_bytes, ("ALLOC",), 16)
+        )
+        binary.add_section(
+            Section(".data", data_base, data_bytes, ("ALLOC", "WRITE"), 16)
+        )
+
+        self._add_symbols(binary)
+        self._add_relocations(binary)
+        self._add_dynamic_sections(binary)
+        self._add_unwind(binary)
+        self._add_metadata(binary, text_base, text_base + text_size,
+                           data_base)
+        return binary
+
+    def _add_symbols(self, binary):
+        strip = bool(self.options.get("strip", False))
+        exported = {
+            f.name for f in self.program.functions if "exported" in f.attrs
+        }
+        exported.update(("main", "_start"))
+        exported.update(RUNTIME_SUPPORT_FUNCS)
+        version = ("V1.0" if "symbol_versioning" in
+                   self.options.get("extra_features", ()) else None)
+        for name, label in self.fn_labels.items():
+            if name not in self.fn_end_labels:
+                continue  # referenced but never defined (generator bug)
+            is_exported = name in exported
+            if strip and not is_exported:
+                continue
+            binary.symbols.add(Symbol(
+                name,
+                label.resolved(),
+                self.fn_end_labels[name].resolved() - label.resolved(),
+                FUNC,
+                GLOBAL if is_exported else LOCAL,
+                version if is_exported else None,
+            ))
+        if not strip:
+            for name, label in self.global_labels.items():
+                binary.symbols.add(Symbol(
+                    name, label.resolved(),
+                    8 * self.global_cell_counts.get(name, 1),
+                    OBJECT, LOCAL,
+                ))
+
+    def _add_relocations(self, binary):
+        kind = R_RELATIVE if self.pie else R_ABS64
+        for slot in self.data.pointer_slots:
+            binary.relocations.append(Relocation(
+                slot.addr, kind, slot.label.resolved() + slot.delta
+            ))
+        if self.options.get("emit_link_relocs", False):
+            link = []
+            for chunk, callee in self._call_sites:
+                link.append(LinkReloc(chunk.addr, callee))
+            for slot in self.data.pointer_slots:
+                link.append(LinkReloc(slot.addr, slot.label.name))
+            binary.link_relocs = link
+
+    def _add_dynamic_sections(self, binary):
+        """Synthesize .dynsym/.dynstr/.rela.dyn payloads.
+
+        Contents are byte-accurate in *size* (24 bytes per dynamic symbol
+        and relocation entry, real string-table bytes) because the
+        rewriter later moves these sections and reuses the dead originals
+        as trampoline scratch space (Section 3).
+        """
+        dynsyms = [s for s in binary.symbols
+                   if s.binding == GLOBAL and s.kind == FUNC]
+        names = b"\0" + b"\0".join(s.name.encode() for s in dynsyms) + b"\0"
+        addr = binary.next_free_addr(16)
+        binary.add_section(
+            Section(".dynsym", addr, b"\0" * (24 * len(dynsyms)),
+                    ("ALLOC",), 8)
+        )
+        addr = binary.next_free_addr(16)
+        binary.add_section(Section(".dynstr", addr, names, ("ALLOC",), 1))
+        addr = binary.next_free_addr(16)
+        binary.add_section(
+            Section(".rela_dyn", addr,
+                    b"\0" * (24 * max(len(binary.relocations), 1)),
+                    ("ALLOC",), 8)
+        )
+
+    def _add_unwind(self, binary):
+        recipes = [
+            UnwindRecipe(s.resolved(), e.resolved(), frame, rule, off,
+                         saved)
+            for s, e, frame, rule, off, saved in self._unwind_records
+        ]
+        binary.unwind = UnwindTable(recipes)
+        binary.landing_pads = [
+            LandingPad(s.resolved(), e.resolved(), h.resolved())
+            for s, e, h in self._landing_records
+        ]
+        addr = binary.next_free_addr(16)
+        binary.add_section(
+            Section(".eh_frame", addr, binary.unwind.pack(), ("ALLOC",), 8)
+        )
+        if self.profile.go_runtime:
+            for name, label in self.fn_labels.items():
+                if name in self.fn_end_labels:
+                    binary.func_table.append(FuncRange(
+                        label.resolved(),
+                        self.fn_end_labels[name].resolved(),
+                        name,
+                    ))
+            packed = b"".join(
+                f.start.to_bytes(8, "little") + f.end.to_bytes(8, "little")
+                for f in binary.func_table
+            )
+            addr = binary.next_free_addr(16)
+            binary.add_section(
+                Section(".gopclntab", addr, packed, ("ALLOC",), 8)
+            )
+
+    def _add_metadata(self, binary, text_start, text_end, data_base):
+        features = tuple(self.profile.features) + tuple(
+            self.options.get("extra_features", ())
+        )
+        jump_tables = []
+        for record in self.jump_table_truth:
+            labels = record["labels"]
+            jump_tables.append({
+                "func": record["func"],
+                "table_addr": labels["table"].resolved(),
+                "dispatch_addr": labels["dispatch"].resolved(),
+                "base_addr": labels["base"].resolved(),
+                "case_addrs": [c.resolved() for c in labels["cases"]],
+                "entries": record["entries"],
+                "entry_size": record["entry_size"],
+                "tar": record["tar"],
+                "resist": record["resist"],
+                "spill": record["spill"],
+            })
+        binary.metadata = {
+            "lang": self.profile.name,
+            "features": features,
+            "pie": self.pie,
+            "text_range": [text_start, text_end],
+            "jump_tables": jump_tables,
+        }
+        if self.spec.name == "ppc64":
+            binary.metadata["toc_base"] = self.toc_anchor.resolved()
+
+
+class _FunctionCompiler:
+    """Lowers one IR function into the compiler's text stream."""
+
+    def __init__(self, cc, func):
+        self.cc = cc
+        self.func = func
+        self.spec = cc.spec
+        self.text = cc.text
+        self.attrs = func.attrs
+        if "resist_jt" in self.attrs:
+            self.temps = (13, 14, 15)
+            local_regs = range(FIRST_LOCAL, 13)
+        else:
+            self.temps = (14, 15)
+            local_regs = range(FIRST_LOCAL, 14)
+        self.var_reg = {}
+        self._local_pool = list(local_regs)
+        self.leaf = not self._has_calls(func.body)
+        self._end_label = Label(f"end:{func.name}")
+        self._label_count = 0
+
+        for param in func.params:
+            self._alloc(param)
+        self._collect_vars(func.body)
+
+        # Callee-saved discipline: every local register this function uses
+        # is spilled in the prologue and restored in the epilogue; the
+        # unwind recipe carries the matching register rules.
+        self.saved_regs = sorted(set(self.var_reg.values()))
+        self.frame, self._spill_off, self._save_base = self._frame_layout()
+
+    # -- setup helpers -------------------------------------------------------
+
+    def _alloc(self, var):
+        if var in self.var_reg:
+            return
+        if not self._local_pool:
+            raise CodegenError(
+                f"{self.func.name}: too many locals (var {var!r})"
+            )
+        self.var_reg[var] = self._local_pool.pop(0)
+
+    def _collect_vars(self, stmts):
+        for stmt in stmts:
+            for attr in ("dst", "var", "catch_var"):
+                value = getattr(stmt, attr, None)
+                if isinstance(value, str):
+                    self._alloc(value)
+            for attr in ("body", "then", "els", "handler", "default"):
+                inner = getattr(stmt, attr, None)
+                if inner:
+                    self._collect_vars(inner)
+            if isinstance(stmt, ir.Switch):
+                for case in stmt.cases:
+                    self._collect_vars(case)
+
+    def _has_calls(self, stmts):
+        for stmt in stmts:
+            if isinstance(stmt, (ir.Call, ir.CallPtr, ir.TailCallPtr,
+                                 ir.Throw, ir.Gc, ir.GoVtabInit)):
+                return True
+            for attr in ("body", "then", "els", "handler", "default"):
+                inner = getattr(stmt, attr, None)
+                if inner and self._has_calls(inner):
+                    return True
+            if isinstance(stmt, ir.Switch):
+                if any(self._has_calls(c) for c in stmt.cases):
+                    return True
+        return False
+
+    def _needs_spill_slot(self):
+        return "spill_index" in self.attrs
+
+    def _frame_layout(self):
+        """Returns (frame_size, spill_slot_offset, saved_regs_base_offset).
+
+        x86 frames: [sp+0] spill, [sp+8+8i] saved regs; RA (pushed by
+        ``call``) sits just above at [sp+frame].  Fixed-architecture
+        non-leaf frames: [sp+0] LR, [sp+8] spill, [sp+16+8i] saved regs.
+        Fixed-architecture leaves keep the RA in LR: [sp+0] spill,
+        [sp+8+8i] saved regs (frame 0 when nothing needs spilling).
+        """
+        nsaved = len(self.saved_regs)
+        if self.spec.call_pushes_return_address:
+            return 8 + 8 * nsaved, 0, 8
+        if self.leaf:
+            if nsaved == 0 and not self._needs_spill_slot():
+                return 0, 0, 8
+            return 8 + 8 * nsaved, 0, 8
+        return 16 + 8 * nsaved, 8, 16
+
+    def _new_label(self, hint):
+        self._label_count += 1
+        return Label(f"{self.func.name}.{hint}{self._label_count}")
+
+    # -- compile --------------------------------------------------------------------
+
+    def compile(self):
+        cc = self.cc
+        text = self.text
+        text.align(self.spec.function_alignment)
+        entry = text.label(cc.fn_label(self.func.name))
+        if "go_nop_entry" in self.attrs:
+            text.emit("nop")
+        self._prologue()
+        self._block(self.func.body)
+        if not (self.func.body and isinstance(self.func.body[-1],
+                                              (ir.Return, ir.TailCallPtr,
+                                               ir.Exit))):
+            self._stmt_return(ir.Return(0))
+        end = text.label(self._end_label)
+        cc.fn_end_labels[self.func.name] = end
+        self._record_unwind(entry, end)
+
+    def _saved_layout(self):
+        return [(reg, self._save_base + 8 * i)
+                for i, reg in enumerate(self.saved_regs)]
+
+    def _prologue(self):
+        text = self.text
+        if self.frame:
+            text.emit("addi", SP, SP, -self.frame)
+        if not self.spec.call_pushes_return_address and not self.leaf:
+            text.emit("st64", LR, Mem(SP, 0))
+        for reg, offset in self._saved_layout():
+            text.emit("st64", reg, Mem(SP, offset))
+        for i, param in enumerate(self.func.params):
+            if i >= len(ARG_REGS):
+                raise CodegenError(
+                    f"{self.func.name}: too many parameters"
+                )
+            text.emit("mov", self.var_reg[param], ARG_REGS[i])
+
+    def _epilogue(self):
+        text = self.text
+        for reg, offset in self._saved_layout():
+            text.emit("ld64", reg, Mem(SP, offset))
+        if not self.spec.call_pushes_return_address and not self.leaf:
+            text.emit("ld64", LR, Mem(SP, 0))
+        if self.frame:
+            text.emit("addi", SP, SP, self.frame)
+
+    def _record_unwind(self, entry, end):
+        saved = tuple(self._saved_layout())
+        if self.spec.call_pushes_return_address:
+            self.cc._unwind_records.append(
+                (entry, end, self.frame + 8, RA_ON_STACK, self.frame, saved)
+            )
+        elif self.leaf:
+            self.cc._unwind_records.append(
+                (entry, end, self.frame, RA_IN_LR, 0, saved)
+            )
+        else:
+            self.cc._unwind_records.append(
+                (entry, end, self.frame, RA_ON_STACK, 0, saved)
+            )
+
+    # -- expression helpers -------------------------------------------------------
+
+    def _reg(self, var):
+        try:
+            return self.var_reg[var]
+        except KeyError:
+            raise CodegenError(
+                f"{self.func.name}: undefined variable {var!r}"
+            )
+
+    def _value_reg(self, expr, temp):
+        """Register holding ``expr`` (materializes constants in ``temp``)."""
+        if isinstance(expr, str):
+            return self._reg(expr)
+        self.cc.emit_const(self.text, temp, expr)
+        return temp
+
+    def _value_to(self, expr, reg):
+        """reg = expr."""
+        if isinstance(expr, str):
+            src = self._reg(expr)
+            if src != reg:
+                self.text.emit("mov", reg, src)
+        else:
+            self.cc.emit_const(self.text, reg, expr)
+
+    # -- statement dispatch ------------------------------------------------------------
+
+    def _block(self, stmts):
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt):
+        handler = getattr(self, f"_stmt_{type(stmt).__name__.lower()}", None)
+        if handler is None:
+            raise CodegenError(f"cannot lower {type(stmt).__name__}")
+        handler(stmt)
+
+    def _stmt_setconst(self, stmt):
+        self.cc.emit_const(self.text, self._reg(stmt.dst), stmt.value)
+
+    def _stmt_setvar(self, stmt):
+        self._value_to(stmt.src, self._reg(stmt.dst))
+
+    def _stmt_binop(self, stmt):
+        t1, t2 = self.temps[0], self.temps[1]
+        text = self.text
+        dst = self._reg(stmt.dst)
+        # x86 flavor: dst = dst + 1 becomes `inc` (paper Listing 1).
+        if (self.spec.name == "x86" and stmt.op == "+"
+                and stmt.a == stmt.dst and stmt.b == 1):
+            text.emit("inc", dst)
+            return
+        ra = self._value_reg(stmt.a, t1)
+        if stmt.op in ("<<", ">>") and isinstance(stmt.b, int):
+            text.emit("shli" if stmt.op == "<<" else "shri",
+                      dst, ra, stmt.b & 63)
+            return
+        if stmt.op in ("+", "-") and isinstance(stmt.b, int) \
+                and -0x8000 <= stmt.b <= 0x7FFF:
+            text.emit("addi", dst, ra,
+                      stmt.b if stmt.op == "+" else -stmt.b)
+            return
+        rb = self._value_reg(stmt.b, t2)
+        mnemonic = {"+": "add", "-": "sub", "*": "mul", "&": "and",
+                    "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+        if stmt.op == "%u":
+            self._emit_umod(dst, ra, rb)
+            return
+        if stmt.op not in mnemonic:
+            raise CodegenError(f"unknown operator {stmt.op!r}")
+        text.emit(mnemonic[stmt.op], dst, ra, rb)
+
+    def _emit_umod(self, dst, ra, rb):
+        """Unsigned modulo by repeated masking — only power-of-two moduli
+        are supported (dst = ra & (rb - 1)); the generator guarantees it."""
+        t1 = self.temps[0]
+        text = self.text
+        text.emit("addi", t1, rb, -1)
+        text.emit("and", dst, ra, t1)
+
+    def _stmt_opaque(self, stmt):
+        """dst = value via an analysis-resistant sequence (runtime zero)."""
+        t1 = self.temps[0]
+        text = self.text
+        dst = self._reg(stmt.dst)
+        self.cc.emit_addr(text, t1, self.cc.global_label("__opaque_zero"))
+        text.emit("ld64", t1, Mem(t1, 0))
+        self.cc.emit_const(text, dst, stmt.value)
+        text.emit("add", dst, dst, t1)
+
+    # -- globals --------------------------------------------------------------------
+
+    def _global_cell(self, temp, name, index):
+        """Leave &global[index] in ``temp``; returns (base_reg, disp)."""
+        label = self.cc.global_label(name)
+        self.cc.emit_addr(self.text, temp, label)
+        if isinstance(index, int):
+            return temp, index * 8
+        idx_reg = self._reg(index)
+        other = self.temps[1] if temp == self.temps[0] else self.temps[0]
+        self.text.emit("shli", other, idx_reg, 3)
+        self.text.emit("add", temp, temp, other)
+        return temp, 0
+
+    def _stmt_loadglobal(self, stmt):
+        base, disp = self._global_cell(self.temps[0], stmt.name, stmt.index)
+        self.text.emit("ld64", self._reg(stmt.dst), Mem(base, disp))
+
+    def _stmt_storeglobal(self, stmt):
+        if not isinstance(stmt.src, str):
+            raise CodegenError("StoreGlobal source must be a variable")
+        base, disp = self._global_cell(self.temps[0], stmt.name, stmt.index)
+        self.text.emit("st64", self._reg(stmt.src), Mem(base, disp))
+
+    # -- control flow ---------------------------------------------------------------
+
+    def _branch_if_not(self, a, cmp, b, target):
+        """Branch to ``target`` when NOT (a cmp b)."""
+        t1, t2 = self.temps[0], self.temps[1]
+        ra = self._value_reg(a, t1)
+        rb = self._value_reg(b, t2)
+        self.text.emit(_INVERSE_BRANCH[cmp], ra, rb, 0, target=target)
+
+    def _stmt_if(self, stmt):
+        text = self.text
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        self._branch_if_not(stmt.a, stmt.cmp, stmt.b, else_label)
+        self._block(stmt.then)
+        if stmt.els:
+            text.emit("jmp", 0, target=end_label)
+            text.label(else_label)
+            self._block(stmt.els)
+            text.label(end_label)
+        else:
+            text.label(else_label)
+
+    def _stmt_loop(self, stmt):
+        text = self.text
+        var = self._reg(stmt.var)
+        head = self._new_label("loop")
+        end = self._new_label("endloop")
+        self.cc.emit_const(text, var, 0)
+        text.label(head)
+        bound = self._value_reg(stmt.count, self.temps[0])
+        text.emit("bge", var, bound, 0, target=end)
+        self._block(stmt.body)
+        text.emit("addi", var, var, 1)
+        text.emit("jmp", 0, target=head)
+        text.label(end)
+
+    def _stmt_return(self, stmt):
+        self._value_to(stmt.value, R0)
+        self._epilogue()
+        self.text.emit("ret")
+
+    def _stmt_print(self, stmt):
+        self._value_to(stmt.value, R0)
+        self.text.emit("syscall", 1)
+
+    def _stmt_exit(self, stmt):
+        self._value_to(stmt.value, R0)
+        self.text.emit("syscall", 0)
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _setup_args(self, args):
+        if len(args) > len(ARG_REGS):
+            raise CodegenError("too many call arguments")
+        for i, arg in enumerate(args):
+            if isinstance(arg, str) and self._reg(arg) in ARG_REGS:
+                raise CodegenError(
+                    "call argument must be a local, not a raw parameter "
+                    "register"
+                )
+            self._value_to(arg, ARG_REGS[i])
+
+    def _stmt_call(self, stmt):
+        self._setup_args(stmt.args)
+        chunk_index = len(self.text.chunks)
+        self.text.emit("call", 0, target=self.cc.fn_label(stmt.func))
+        self.cc._call_sites.append((self.text.chunks[chunk_index],
+                                    stmt.func))
+        if stmt.dst is not None:
+            self.text.emit("mov", self._reg(stmt.dst), R0)
+
+    def _load_ptr(self, table, index, dst_temp):
+        base, disp = self._global_cell(self.temps[1], table, index)
+        self.text.emit("ld64", dst_temp, Mem(base, disp))
+
+    def _stmt_callptr(self, stmt):
+        t1 = self.temps[0]
+        self._load_ptr(stmt.table, stmt.index, t1)
+        self._setup_args(stmt.args)
+        self.cc.emit_indirect(self.text, t1, call=True)
+        if stmt.dst is not None:
+            self.text.emit("mov", self._reg(stmt.dst), R0)
+
+    def _stmt_tailcallptr(self, stmt):
+        """return (*ptr)(args...) — emits a genuine indirect tail call."""
+        t1 = self.temps[0]
+        self._load_ptr(stmt.table, stmt.index, t1)
+        self._setup_args(stmt.args)
+        self._epilogue()
+        self.cc.emit_indirect(self.text, t1, call=False)
+
+    def _stmt_throw(self, stmt):
+        self._value_to(stmt.value, R0)
+        self.text.emit("call", 0,
+                       target=self.cc.fn_label("__throw_helper"))
+
+    def _stmt_try(self, stmt):
+        text = self.text
+        handler_label = self._new_label("catch")
+        end_label = self._new_label("endtry")
+        body_start = text.label(self._new_label("try"))
+        self._block(stmt.body)
+        body_end = text.label(self._new_label("tryend"))
+        text.emit("jmp", 0, target=end_label)
+        text.label(handler_label)
+        text.emit("mov", self._reg(stmt.catch_var), R0)
+        self._block(stmt.handler)
+        text.label(end_label)
+        # Inner Trys were recorded first (recursion), so the unwinder's
+        # first-covering-pad search finds the innermost handler.
+        self.cc._landing_records.append((body_start, body_end,
+                                         handler_label))
+
+    def _stmt_gc(self, stmt):
+        self.text.emit("call", 0,
+                       target=self.cc.fn_label("runtime.gc_entry"))
+
+    # -- Go vtable init --------------------------------------------------------------------
+
+    def _stmt_govtabinit(self, stmt):
+        """vtab[i] = text_base + functab[i] — relocation-free pointer
+        table construction (unrolled), defeating precise analysis."""
+        t1, t2 = self.temps[0], self.temps[1]
+        text = self.text
+        functab = self.cc.go_functab(stmt.funcs)
+        vtab = self.cc.global_label(stmt.vtab)
+        for i in range(len(stmt.funcs)):
+            self.cc.emit_addr(text, t2, functab)
+            text.emit("ld32", t1, Mem(t2, 4 * i))
+            self.cc.emit_addr(text, t2, self.cc.text_start)
+            text.emit("add", t1, t2, t1)
+            self.cc.emit_addr(text, t2, vtab)
+            text.emit("st64", t1, Mem(t2, 8 * i))
+
+    # -- switches ---------------------------------------------------------------------------
+
+    def _stmt_switch(self, stmt):
+        profile = self.cc.profile
+        use_table = (profile.emits_jump_tables
+                     and len(stmt.cases) >= profile.min_jump_table_cases)
+        if use_table:
+            self._switch_jump_table(stmt)
+        else:
+            self._switch_compare_chain(stmt)
+
+    def _switch_compare_chain(self, stmt):
+        text = self.text
+        t1, t2 = self.temps[0], self.temps[1]
+        var = self._reg(stmt.var)
+        end = self._new_label("endsw")
+        case_labels = [self._new_label(f"case{i}")
+                       for i in range(len(stmt.cases))]
+        default_label = self._new_label("default")
+        for i, label in enumerate(case_labels):
+            self.cc.emit_const(text, t1, i)
+            text.emit("beq", var, t1, 0, target=label)
+        text.emit("jmp", 0, target=default_label)
+        for label, case in zip(case_labels, stmt.cases):
+            text.label(label)
+            self._block(case)
+            text.emit("jmp", 0, target=end)
+        text.label(default_label)
+        self._block(stmt.default)
+        text.label(end)
+
+    def _switch_jump_table(self, stmt):
+        text = self.text
+        spec = self.spec
+        t1, t2 = self.temps[0], self.temps[1]
+        ncases = len(stmt.cases)
+        end = self._new_label("endsw")
+        default_label = self._new_label("default")
+        case_labels = [self._new_label(f"case{i}") for i in range(ncases)]
+        table_label = self._new_label("jt")
+        fn_entry = self.cc.fn_label(self.func.name)
+
+        # Bounds checks (index is treated as signed).
+        var = self._reg(stmt.var)
+        text.emit("mov", t1, var)
+        self.cc.emit_const(text, t2, ncases)
+        text.emit("bge", t1, t2, 0, target=default_label)
+        self.cc.emit_const(text, t2, 0)
+        text.emit("blt", t1, t2, 0, target=default_label)
+
+        if "spill_index" in self.attrs:
+            # Spill/reload the index through the stack frame — the memory
+            # tracking jump-table slicing must handle (Section 5.1).
+            text.emit("st64", t1, Mem(SP, self._spill_off))
+            text.emit("nop")
+            text.emit("ld64", t1, Mem(SP, self._spill_off))
+
+        dispatch_label = self._new_label("jtdispatch")
+
+        if spec.name == "aarch64":
+            # 1-byte entries only for small functions (offsets are
+            # (target - entry) >> 2 and must fit the entry width);
+            # 2-byte entries cover any function under 256 KiB.
+            entry_size = 1 if _stmt_count(self.func.body) <= 14 else 2
+            text.emit("leapc", t2, 0, target=table_label)
+            self._resist_base(t2)
+            if entry_size == 2:
+                text.emit("shli", t1, t1, 1)
+            text.emit("add", t1, t2, t1)
+            text.emit("ld8" if entry_size == 1 else "ld16",
+                      t1, Mem(t1, 0))
+            text.emit("shli", t1, t1, 2)
+            text.emit("leapc", t2, 0, target=fn_entry)
+            text.emit("add", t1, t2, t1)
+            text.label(dispatch_label)
+            self.cc.emit_indirect(text, t1, call=False)
+            tar = ["entry_plus_shifted", 2]
+            table_stream, signed = self.cc.rodata, False
+            base_for_tar = fn_entry
+        else:
+            entry_size = 4
+            text.emit("leapc", t2, 0, target=table_label)
+            self._resist_base(t2)
+            text.emit("shli", t1, t1, 2)
+            text.emit("add", t1, t2, t1)
+            text.emit("lds32", t1, Mem(t1, 0))
+            text.emit("add", t1, t2, t1)
+            text.label(dispatch_label)
+            self.cc.emit_indirect(text, t1, call=False)
+            tar = ["base_plus", 0]
+            table_stream = (self.text if spec.name == "ppc64"
+                            else self.cc.rodata)
+            signed = True
+            base_for_tar = table_label
+
+        # ppc64 embeds the table in .text immediately after the indirect
+        # jump (Section 5.1 Assumption 1); other arches use .rodata.
+        shift = 2 if spec.name == "aarch64" else 0
+        table_stream.align(4, fill="nop" if table_stream is self.text
+                           else "zero")
+        table_stream.label(table_label)
+        table_stream.table(
+            base_for_tar if spec.name == "aarch64" else table_label,
+            case_labels, entry_size, shift=shift, signed=signed,
+        )
+
+        for label, case in zip(case_labels, stmt.cases):
+            text.label(label)
+            self._block(case)
+            text.emit("jmp", 0, target=end)
+        text.label(default_label)
+        self._block(stmt.default)
+        text.label(end)
+
+        self.cc.jump_table_truth.append({
+            "func": self.func.name,
+            "table_label": table_label.name,
+            "labels": {
+                "table": table_label,
+                "dispatch": dispatch_label,
+                "base": base_for_tar,
+                "cases": case_labels,
+            },
+            "entries": ncases,
+            "entry_size": entry_size,
+            "tar": tar,
+            "resist": "resist_jt" in self.attrs,
+            "spill": "spill_index" in self.attrs,
+        })
+
+    def _resist_base(self, base_reg):
+        """Make the table base analysis-resistant when requested."""
+        if "resist_jt" not in self.attrs:
+            return
+        t3 = self.temps[2]
+        text = self.text
+        self.cc.emit_addr(text, t3, self.cc.global_label("__opaque_zero"))
+        text.emit("ld64", t3, Mem(t3, 0))
+        text.emit("add", base_reg, base_reg, t3)

@@ -1,0 +1,270 @@
+"""Reference interpreter for the toolchain IR.
+
+Serves as the behavioural oracle: for every workload, the IR
+interpretation, the compiled binary's emulated run, and every rewritten
+binary's run must produce the same output and exit code.
+
+Function pointers are modeled as synthetic integer handles so pointer
+arithmetic (Go's entry+1 idiom) works identically here and in compiled
+code, while remaining address-layout independent.
+"""
+
+from repro.toolchain import ir
+from repro.util.errors import ReproError
+from repro.util.ints import s64, u64
+
+#: Function-pointer handles: FN_BASE + index * FN_STRIDE (+ small delta).
+FN_BASE = 1 << 40
+FN_STRIDE = 1 << 12
+
+
+class ThrownValue(Exception):
+    """In-flight IR-level exception."""
+
+    def __init__(self, value):
+        super().__init__(f"thrown {value}")
+        self.value = value
+
+
+class _ReturnValue(Exception):
+    def __init__(self, value):
+        super().__init__("return")
+        self.value = value
+
+
+class InterpError(ReproError):
+    """The IR program is malformed or exceeded its budget."""
+
+
+class Interpreter:
+    """Executes a :class:`~repro.toolchain.ir.Program`."""
+
+    def __init__(self, program, step_limit=20_000_000):
+        self.program = program
+        self.step_limit = step_limit
+        self.steps = 0
+        self.output = []
+        self.gc_runs = 0
+        self._fn_handle = {
+            func.name: FN_BASE + idx * FN_STRIDE
+            for idx, func in enumerate(program.functions)
+        }
+        self._fn_by_handle = {v: k for k, v in self._fn_handle.items()}
+        self.globals = {
+            g.name: self._init_global(g) for g in program.globals
+        }
+
+    # -- public -------------------------------------------------------------
+
+    def run(self):
+        """Execute the program (runtime init, then main); returns the exit
+        code — mirroring the compiled binary's ``_start``."""
+        try:
+            if any(f.name == "runtime.typesinit"
+                   for f in self.program.functions):
+                self._call("runtime.typesinit", [])
+            code = self._call("main", [])
+        except ThrownValue as exc:
+            raise InterpError(f"uncaught IR exception {exc.value}") from exc
+        return s64(u64(code))
+
+    def fn_handle(self, name):
+        return self._fn_handle[name]
+
+    # -- internals ------------------------------------------------------------
+
+    def _init_global(self, gvar):
+        if isinstance(gvar.init, list):
+            return [self._init_value(v) for v in gvar.init]
+        return [self._init_value(gvar.init)]
+
+    def _init_value(self, value):
+        if isinstance(value, str):
+            if not value.startswith("&"):
+                raise InterpError(f"bad global initializer {value!r}")
+            return self._fn_handle[value[1:]]
+        return u64(value)
+
+    def _call(self, name, args):
+        func = self.program.function(name)
+        if len(args) != len(func.params):
+            raise InterpError(
+                f"{name} expects {len(func.params)} args, got {len(args)}"
+            )
+        env = dict(zip(func.params, (u64(a) for a in args)))
+        try:
+            self._exec_block(func.body, env)
+        except _ReturnValue as ret:
+            return ret.value
+        return 0
+
+    def _exec_block(self, stmts, env):
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _eval(self, expr, env):
+        if isinstance(expr, str):
+            try:
+                return env[expr]
+            except KeyError:
+                raise InterpError(f"undefined variable {expr!r}")
+        return u64(expr)
+
+    def _budget(self):
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise InterpError("IR step budget exceeded")
+
+    def _exec(self, stmt, env):
+        self._budget()
+        kind = type(stmt)
+
+        if kind is ir.SetConst:
+            env[stmt.dst] = u64(stmt.value)
+        elif kind is ir.SetVar:
+            env[stmt.dst] = self._eval(stmt.src, env)
+        elif kind is ir.Opaque:
+            env[stmt.dst] = u64(stmt.value)
+        elif kind is ir.BinOp:
+            env[stmt.dst] = self._binop(stmt, env)
+        elif kind is ir.LoadGlobal:
+            cells = self.globals[stmt.name]
+            idx = self._eval(stmt.index, env)
+            self._check_index(stmt.name, cells, idx)
+            env[stmt.dst] = cells[idx]
+        elif kind is ir.StoreGlobal:
+            cells = self.globals[stmt.name]
+            idx = self._eval(stmt.index, env)
+            self._check_index(stmt.name, cells, idx)
+            cells[idx] = self._eval(stmt.src, env)
+        elif kind is ir.Loop:
+            # C-style `for` semantics, mirroring the compiled register
+            # loop exactly: the body may modify the induction variable
+            # or the bound, and both are re-read every iteration.
+            env[stmt.var] = 0
+            while True:
+                self._budget()
+                bound = s64(self._eval(stmt.count, env))
+                if s64(env[stmt.var]) >= bound:
+                    break
+                self._exec_block(stmt.body, env)
+                env[stmt.var] = u64(env[stmt.var] + 1)
+        elif kind is ir.If:
+            if self._compare(stmt.a, stmt.cmp, stmt.b, env):
+                self._exec_block(stmt.then, env)
+            else:
+                self._exec_block(stmt.els, env)
+        elif kind is ir.Switch:
+            selector = s64(self._eval(stmt.var, env))
+            if 0 <= selector < len(stmt.cases):
+                self._exec_block(stmt.cases[selector], env)
+            else:
+                self._exec_block(stmt.default, env)
+        elif kind is ir.Call:
+            result = self._call(stmt.func, [self._eval(a, env)
+                                            for a in stmt.args])
+            if stmt.dst is not None:
+                env[stmt.dst] = u64(result)
+        elif kind is ir.CallPtr:
+            result = self._call_ptr(stmt, env)
+            if stmt.dst is not None:
+                env[stmt.dst] = u64(result)
+        elif kind is ir.TailCallPtr:
+            raise _ReturnValue(u64(self._call_ptr(stmt, env)))
+        elif kind is ir.Return:
+            raise _ReturnValue(self._eval(stmt.value, env))
+        elif kind is ir.Print:
+            self.output.append(s64(self._eval(stmt.value, env)))
+        elif kind is ir.Exit:
+            raise _ReturnValue(self._eval(stmt.value, env))
+        elif kind is ir.Throw:
+            raise ThrownValue(self._eval(stmt.value, env))
+        elif kind is ir.Try:
+            try:
+                self._exec_block(stmt.body, env)
+            except ThrownValue as exc:
+                env[stmt.catch_var] = u64(exc.value)
+                self._exec_block(stmt.handler, env)
+        elif kind is ir.Gc:
+            self.gc_runs += 1
+        elif kind is ir.GoVtabInit:
+            cells = self.globals[stmt.vtab]
+            for i, name in enumerate(stmt.funcs):
+                self._check_index(stmt.vtab, cells, i)
+                cells[i] = self._fn_handle[name]
+        else:
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    def _call_ptr(self, stmt, env):
+        cells = self.globals[stmt.table]
+        idx = self._eval(stmt.index, env)
+        self._check_index(stmt.table, cells, idx)
+        handle = cells[idx]
+        base = handle - (handle % FN_STRIDE)
+        delta = handle - base
+        name = self._fn_by_handle.get(base)
+        if name is None:
+            raise InterpError(
+                f"indirect call through non-pointer value {handle:#x}"
+            )
+        if delta > 8:
+            raise InterpError(f"wild pointer arithmetic delta {delta}")
+        return self._call(name, [self._eval(a, env) for a in stmt.args])
+
+    def _binop(self, stmt, env):
+        a = self._eval(stmt.a, env)
+        b = self._eval(stmt.b, env)
+        op = stmt.op
+        if op == "+":
+            return u64(a + b)
+        if op == "-":
+            return u64(a - b)
+        if op == "*":
+            return u64(a * b)
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return u64(a << (b & 63))
+        if op == ">>":
+            return a >> (b & 63)
+        if op == "%u":
+            if b == 0:
+                raise InterpError("unsigned modulo by zero")
+            return a % b
+        raise InterpError(f"unknown operator {op!r}")
+
+    def _compare(self, a, cmp, b, env):
+        x = s64(self._eval(a, env))
+        y = s64(self._eval(b, env))
+        if cmp == "==":
+            return x == y
+        if cmp == "!=":
+            return x != y
+        if cmp == "<":
+            return x < y
+        if cmp == "<=":
+            return x <= y
+        if cmp == ">":
+            return x > y
+        if cmp == ">=":
+            return x >= y
+        raise InterpError(f"unknown comparison {cmp!r}")
+
+    @staticmethod
+    def _check_index(name, cells, idx):
+        if idx >= len(cells):
+            raise InterpError(
+                f"index {idx} out of range for global {name} "
+                f"({len(cells)} cells)"
+            )
+
+
+def interpret(program, step_limit=20_000_000):
+    """Run a program; returns (exit_code, output list)."""
+    interp = Interpreter(program, step_limit)
+    code = interp.run()
+    return code, interp.output

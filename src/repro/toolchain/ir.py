@@ -1,0 +1,250 @@
+"""The toolchain's tiny structured IR.
+
+Workload generators build :class:`Program` trees; the per-architecture
+code generator lowers them to synthetic machine code, and
+:mod:`repro.toolchain.interp` executes them directly as the behavioural
+oracle (program output must be identical between the IR interpreter, the
+compiled binary, and every rewritten binary).
+
+The IR is deliberately small but is chosen so the *compiled* code contains
+every construct the paper's analyses care about: switch statements (jump
+tables), function pointers (plain globals, vtable-style tables, Go's
+"entry+1" arithmetic), C++ try/throw/catch, Go GC tracebacks, direct and
+indirect tail calls, and analysis-resistant computations.
+"""
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# expressions are variable names (str) or integer constants (int)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    """Base class for IR statements (for isinstance checks only)."""
+
+
+@dataclass
+class SetConst(Stmt):
+    dst: str
+    value: int
+
+
+@dataclass
+class SetVar(Stmt):
+    dst: str
+    src: str
+
+
+@dataclass
+class BinOp(Stmt):
+    """dst = a <op> b, with op in + - * & | ^ << >> %u (unsigned mod)."""
+
+    dst: str
+    op: str
+    a: object   # var name or int
+    b: object
+
+
+@dataclass
+class LoadGlobal(Stmt):
+    dst: str
+    name: str
+    index: object = 0   # element index (var name or int) for array globals
+
+
+@dataclass
+class StoreGlobal(Stmt):
+    name: str
+    src: str
+    index: object = 0
+
+
+@dataclass
+class Loop(Stmt):
+    """for var in range(count): body.  count is a var name or int."""
+
+    var: str
+    count: object
+    body: list
+
+
+@dataclass
+class If(Stmt):
+    a: object
+    cmp: str          # one of == != < <= > >=
+    b: object
+    then: list
+    els: list = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    """switch (var) { case 0..n-1: cases[i]; default: default }.
+
+    Compiled to a bounds check + jump table on languages/architectures
+    that emit jump tables, otherwise to a compare chain.
+    """
+
+    var: str
+    cases: list       # list of stmt lists
+    default: list = field(default_factory=list)
+
+
+@dataclass
+class Call(Stmt):
+    """dst = func(args...); dst may be None for void calls."""
+
+    dst: object
+    func: str
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class CallPtr(Stmt):
+    """dst = (*ptr)(args...) — indirect call.
+
+    ``table`` names a global slot (scalar) or pointer-table global; for
+    tables, ``index`` selects the slot.
+    """
+
+    dst: object
+    table: str
+    index: object = 0
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class TailCallPtr(Stmt):
+    """return (*ptr)(args...) — an *indirect tail call* (jmp through a
+    register), the construct Section 5.1's heuristics disambiguate from
+    unresolved jump tables."""
+
+    table: str
+    index: object = 0
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: object = 0
+
+
+@dataclass
+class Print(Stmt):
+    value: object
+
+
+@dataclass
+class Exit(Stmt):
+    """Terminate the process with the given exit code (only _start uses
+    this; workload main() functions use Return)."""
+
+    value: object = 0
+
+
+@dataclass
+class Throw(Stmt):
+    value: object
+
+
+@dataclass
+class Try(Stmt):
+    """try { body } catch (catch_var) { handler }"""
+
+    body: list
+    catch_var: str
+    handler: list
+
+
+@dataclass
+class Gc(Stmt):
+    """Invoke the Go runtime's GC (stack-scanning traceback)."""
+
+
+@dataclass
+class GoVtabInit(Stmt):
+    """Populate a vtable-style pointer table the way Go's runtime does:
+    by adding 4-byte offsets from a packed, self-describing table to the
+    text base at startup — *without* data relocations.
+
+    This is the construct that makes precise function-pointer analysis
+    impossible for Go binaries (the paper's ``func-ptr`` mode fails on
+    Docker because of these ``.vtab`` tables, Section 8.2).
+    """
+
+    vtab: str        # name of the pointer-table global to fill
+    funcs: list      # function names, one per slot
+
+
+@dataclass
+class Opaque(Stmt):
+    """dst = value, computed through an analysis-resistant instruction
+    sequence (the static analyses cannot prove the result constant).
+
+    Used to build jump tables / function-pointer flows whose analysis
+    fails gracefully — the paper's "analysis reporting failure" lever.
+    """
+
+    dst: str
+    value: int
+
+
+# ---------------------------------------------------------------------------
+# top-level containers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GlobalVar:
+    """A global variable.
+
+    ``init`` may be: an int; a list of ints (array, 8-byte elements); the
+    string ``"&func"`` (function pointer, resolved at link time, emitting
+    a relocation); or a list mixing ints and ``"&func"`` strings (a
+    vtable-style pointer table).
+    """
+
+    name: str
+    init: object = 0
+    writable: bool = True
+
+
+@dataclass
+class Function:
+    name: str
+    params: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+    attrs: frozenset = frozenset()
+    # attrs understood by the code generator:
+    #   "exported"         — dynamic symbol (callable from outside)
+    #   "spill_index"      — spill/reload the switch index through the
+    #                        stack (stresses jump-table slicing)
+    #   "resist_jt"        — make jump-table base analysis-resistant
+    #                        (jump-table analysis reports failure)
+    #   "high_pressure"    — use every register (incl. the usual scratch
+    #                        register) so liveness finds nothing dead
+    #   "go_nop_entry"     — begin with a nop (target of Go's entry+1)
+
+
+@dataclass
+class Program:
+    name: str
+    lang: str = "c"
+    functions: list = field(default_factory=list)
+    globals: list = field(default_factory=list)
+    #: build options: pie (bool), emit_link_relocs (bool),
+    #: strip (bool — drop local function symbols)
+    options: dict = field(default_factory=dict)
+
+    def function(self, name):
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def global_var(self, name):
+        for gvar in self.globals:
+            if gvar.name == name:
+                return gvar
+        raise KeyError(name)

@@ -1,0 +1,64 @@
+"""Source-language profiles.
+
+The paper's generality claim covers C/C++ (including exceptions), Fortran,
+Rust and Go.  What matters to binary rewriting is not the surface syntax
+but what each compiler *emits*; a profile captures exactly that.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LangProfile:
+    """Code-generation characteristics of one source language."""
+
+    name: str
+    #: does the compiler lower switches to jump tables?  (Go's does not —
+    #: Section 8.2: "Go's compiler does not emit jump tables", which is why
+    #: dir and jt behave identically on Docker.)
+    emits_jump_tables: bool = True
+    #: switches below this case count become compare chains
+    min_jump_table_cases: int = 4
+    #: C++-style exceptions available (Throw/Try statements allowed)
+    uses_exceptions: bool = False
+    #: Go-style runtime: pclntab function table, stack-scanning GC,
+    #: vtable-style function tables initialized by runtime code, and the
+    #: "entry+1" function-pointer idiom (paper Listing 1)
+    go_runtime: bool = False
+    #: feature flags copied into binary metadata (what breaks IR lowering:
+    #: "rust_metadata" and "go_vtab" broke Egalito in Section 8.2,
+    #: "symbol_versioning" broke it on libcuda.so in Section 9)
+    features: tuple = field(default_factory=tuple)
+
+
+PROFILES = {
+    "c": LangProfile(name="c"),
+    "cxx": LangProfile(
+        name="cxx",
+        uses_exceptions=True,
+        features=("cxx_exceptions",),
+    ),
+    "fortran": LangProfile(
+        name="fortran",
+        min_jump_table_cases=6,
+    ),
+    "rust": LangProfile(
+        name="rust",
+        features=("rust_metadata",),
+    ),
+    "go": LangProfile(
+        name="go",
+        emits_jump_tables=False,
+        go_runtime=True,
+        features=("go_vtab", "go_runtime"),
+    ),
+}
+
+
+def profile(lang):
+    try:
+        return PROFILES[lang]
+    except KeyError:
+        raise KeyError(
+            f"unknown language {lang!r}; known: {', '.join(sorted(PROFILES))}"
+        )

@@ -1,0 +1,540 @@
+"""Workload generators.
+
+Synthetic stand-ins for the paper's evaluation subjects:
+
+* a 19-benchmark SPEC CPU 2017-like suite (Section 8.1) — same language
+  mix (two C++-exception users, several Fortran benchmarks, the rest
+  C/C++), per-benchmark "personalities" controlling jump-table density,
+  function-pointer density, analysis-hostile constructs, and run length;
+* ``firefox_like`` — a large Rust/C++ mixed shared library (Section 8.2);
+* ``docker_like`` — a Go binary with runtime tracebacks, vtable-style
+  function tables and the entry+1 idiom (Section 8.2);
+* ``libcuda_like`` — a large, mostly-stripped driver library with an
+  internal synchronization function (Section 9, Diogenes).
+
+Everything is seeded from the workload name, so runs are reproducible.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.toolchain import ir
+from repro.toolchain.codegen import compile_program
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class WorkloadSpec:
+    """Generation knobs for one synthetic program."""
+
+    name: str
+    lang: str = "c"
+    #: scale of the function population
+    n_leaf: int = 8
+    n_switch: int = 4
+    n_ptr: int = 2
+    n_tail: int = 1
+    n_try: int = 0
+    #: functions full of tiny (2-byte) basic blocks executed hot — what
+    #: makes per-instruction/per-block patching trap-bound on x86 (the
+    #: Diogenes case study's libcuda.so behaviour)
+    n_hot: int = 0
+    #: dynamic-size knobs
+    main_reps: int = 20
+    inner_iters: int = 8
+    leaf_iters: int = 6
+    #: analysis-hostility incidence: fraction of switch functions whose
+    #: index is spilled through the stack, and the absolute number whose
+    #: jump-table base is analysis-resistant
+    spill_frac: float = 0.3
+    resist_count: int = 0
+    #: switch shape
+    switch_cases: tuple = (4, 8)
+    #: Go-specific population
+    go_vtab_size: int = 0
+    go_gc_period: int = 0        # call GC every N-th rep (0 = never)
+    #: build options
+    pie: bool = False
+    strip: bool = False
+    emit_link_relocs: bool = False
+    extra_features: tuple = ()
+
+    def options(self):
+        opts = {"pie": self.pie}
+        if self.strip:
+            opts["strip"] = True
+        if self.emit_link_relocs:
+            opts["emit_link_relocs"] = True
+        if self.extra_features:
+            opts["extra_features"] = tuple(self.extra_features)
+        return opts
+
+
+class ProgramBuilder:
+    """Builds one IR program from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.rng = DeterministicRng(f"workload:{spec.name}")
+        self.functions = []
+        self.globals = []
+        self.leaf_names = []
+        self.switch_names = []
+        self.ptr_names = []
+        self.tail_names = []
+        self.try_names = []
+
+    # -- public ----------------------------------------------------------
+
+    def build(self):
+        spec = self.spec
+        self._make_leaves()
+        self._make_pointer_globals()
+        if spec.lang == "go":
+            self._make_go_runtime()
+        self._make_hot_functions()
+        self._make_switch_functions()
+        self._make_ptr_functions()
+        self._make_tail_functions()
+        if spec.n_try:
+            self._make_try_functions()
+        self._make_main()
+        return ir.Program(
+            name=spec.name,
+            lang=spec.lang,
+            functions=self.functions,
+            globals=self.globals,
+            options=spec.options(),
+        )
+
+    # -- leaves ------------------------------------------------------------
+
+    def _make_leaves(self):
+        spec = self.spec
+        rng = self.rng
+        for i in range(spec.n_leaf):
+            name = f"leaf{i}"
+            iters = max(2, spec.leaf_iters + rng.randint(-2, 3))
+            mult = rng.choice([3, 5, 7, 9])
+            mask = rng.choice([63, 127, 255])
+            body = [
+                ir.SetVar("acc", "x"),
+                ir.Loop("j", iters, [
+                    ir.BinOp("t", "*", "acc", mult),
+                    ir.BinOp("t", "+", "t", "j"),
+                    ir.BinOp("acc", "&", "t", mask),
+                ]),
+                ir.BinOp("acc", "+", "acc", rng.randint(1, 9)),
+                ir.Return("acc"),
+            ]
+            if rng.random() < 0.25:
+                # A tiny leaf: small code footprint, small blocks.
+                body = [ir.BinOp("y", "+", "x", rng.randint(1, 30)),
+                        ir.Return("y")]
+            self.functions.append(ir.Function(name, params=["x"], body=body))
+            self.leaf_names.append(name)
+
+    def _make_pointer_globals(self):
+        rng = self.rng
+        table = [f"&{rng.choice(self.leaf_names)}" for _ in range(8)]
+        self.globals.append(ir.GlobalVar("fptab", table))
+        for i in range(3):
+            self.globals.append(
+                ir.GlobalVar(f"fp{i}", f"&{rng.choice(self.leaf_names)}")
+            )
+        self.globals.append(ir.GlobalVar("gstate", [0] * 8))
+
+    def _make_go_runtime(self):
+        spec = self.spec
+        size = max(spec.go_vtab_size, 4)
+        targets = [self.rng.choice(self.leaf_names) for _ in range(size)]
+        self.globals.append(ir.GlobalVar("vtab", [0] * size))
+        # runtime.goexit: referenced only through the entry+1 idiom
+        # (paper Listing 1), like the real one — it is a pseudo return
+        # address, never called at its entry.  It begins with a nop.
+        self.functions.append(ir.Function(
+            "runtime.goexit_like", params=["x"],
+            attrs=frozenset({"go_nop_entry"}),
+            body=[ir.BinOp("y", "^", "x", 0x5A), ir.Return("y")],
+        ))
+        self.globals.append(ir.GlobalVar("goexit_slot",
+                                         "&runtime.goexit_like"))
+        self.globals.append(ir.GlobalVar("goexit_cell", 0))
+        self.functions.append(ir.Function(
+            "runtime.typesinit",
+            body=[ir.GoVtabInit("vtab", targets), ir.Return(0)],
+        ))
+        self._go_vtab_size = size
+
+    def _make_hot_functions(self):
+        """Hot functions built to be hostile to per-block trampoline
+        placement under call emulation, while CFL-only placement with RA
+        translation ignores them entirely.
+
+        Each guarded call produces a *tiny* (3-byte) call-fall-through
+        block (just ``mov t, r0``): too small for an inline 5-byte
+        branch, usually too far from scratch for a short-branch hop —
+        a trap trampoline executed on *every* return.  This is the
+        mechanism behind the Diogenes case study's 60x slowdown.
+        """
+        spec = self.spec
+        rng = self.rng
+        for i in range(spec.n_hot):
+            name = f"hot{i}"
+            callee = f"syncleaf{i}"
+            self.functions.append(ir.Function(
+                callee, params=["x"],
+                body=[ir.BinOp("r", "+", "x", i + 1), ir.Return("r")],
+            ))
+            checks = []
+            for c in range(8):
+                checks.append(ir.SetConst("t", 0))
+                checks.append(ir.If("k", "==", c,
+                                    [ir.Call("t", callee, ["y"])]))
+                checks.append(ir.BinOp("y", "+", "y", "t"))
+            body = [
+                ir.SetConst("y", 0),
+                ir.Loop("j", spec.inner_iters * 8, [
+                    ir.BinOp("k", "+", "x", "j"),
+                    ir.BinOp("k", "&", "k", 7),
+                ] + checks),
+                ir.Return("y"),
+            ]
+            self.functions.append(
+                ir.Function(name, params=["x"], body=body)
+            )
+            self.switch_names.append(name)  # called from main's phases
+
+    # -- mid-level functions ---------------------------------------------------
+
+    def _switch_case(self, rng):
+        roll = rng.random()
+        add = rng.randint(1, 500)
+        if roll < 0.5:
+            return [ir.BinOp("y", "+", "y", add)]
+        if roll < 0.75:
+            return [
+                ir.BinOp("y", "^", "y", add),
+                ir.BinOp("y", "+", "y", 1),
+            ]
+        callee = rng.choice(self.leaf_names)
+        return [
+            ir.Call("t", callee, ["y"]),
+            ir.BinOp("y", "+", "y", "t"),
+        ]
+
+    def _make_switch_functions(self):
+        spec = self.spec
+        rng = self.rng
+        n_spill = round(spec.n_switch * spec.spill_frac)
+        n_resist = min(spec.resist_count, spec.n_switch)
+        for i in range(spec.n_switch):
+            name = f"switcher{i}"
+            lo, hi = spec.switch_cases
+            ncases = rng.randint(lo, hi)
+            mask = 2 ** (ncases - 1).bit_length() - 1  # >= ncases-1
+            attrs = set()
+            if i < n_resist:
+                attrs.add("resist_jt")
+            elif i < n_resist + n_spill:
+                attrs.add("spill_index")
+            body = [
+                ir.SetConst("y", 0),
+                ir.Loop("j", spec.inner_iters, [
+                    ir.BinOp("k", "+", "x", "j"),
+                    ir.BinOp("k", "&", "k", mask),
+                    ir.Switch(
+                        "k",
+                        [self._switch_case(rng) for _ in range(ncases)],
+                        default=[ir.BinOp("y", "+", "y", 1)],
+                    ),
+                ]),
+                ir.Return("y"),
+            ]
+            self.functions.append(
+                ir.Function(name, params=["x"], body=body,
+                            attrs=frozenset(attrs))
+            )
+            self.switch_names.append(name)
+
+    def _make_ptr_functions(self):
+        spec = self.spec
+        rng = self.rng
+        go = spec.lang == "go"
+        for i in range(spec.n_ptr):
+            name = f"dispatch{i}"
+            table = "vtab" if go else "fptab"
+            tsize = self._go_vtab_size if go else 8
+            body = [
+                ir.SetConst("y", 0),
+                ir.Loop("j", spec.inner_iters, [
+                    ir.BinOp("k", "+", "x", "j"),
+                    ir.BinOp("k", "&", "k", tsize - 1),
+                    ir.CallPtr("t", table, "k", args=["j"]),
+                    ir.BinOp("y", "+", "y", "t"),
+                ]),
+            ]
+            if not go and rng.random() < 0.5:
+                body.append(ir.CallPtr("t", f"fp{rng.randint(0, 2)}", 0,
+                                       args=["y"]))
+                body.append(ir.BinOp("y", "+", "y", "t"))
+            body.append(ir.Return("y"))
+            self.functions.append(ir.Function(name, params=["x"], body=body))
+            self.ptr_names.append(name)
+
+    def _make_tail_functions(self):
+        spec = self.spec
+        rng = self.rng
+        for i in range(spec.n_tail):
+            name = f"tailer{i}"
+            body = [
+                ir.BinOp("k", "&", "x", 7),
+                ir.BinOp("x2", "+", "x", rng.randint(1, 5)),
+                ir.TailCallPtr("fptab", "k", args=["x2"]),
+            ]
+            self.functions.append(ir.Function(name, params=["x"], body=body))
+            self.tail_names.append(name)
+
+    def _make_try_functions(self):
+        spec = self.spec
+        rng = self.rng
+        threshold = rng.randint(2, 4)
+        self.functions.append(ir.Function(
+            "thrower", params=["x"],
+            body=[
+                ir.BinOp("k", "&", "x", 7),
+                ir.If("k", ">", threshold,
+                      [ir.BinOp("p", "*", "k", 3), ir.Throw("p")]),
+                ir.Return("k"),
+            ],
+        ))
+        for i in range(spec.n_try):
+            name = f"catcher{i}"
+            body = [
+                ir.SetConst("y", 0),
+                ir.Loop("j", spec.inner_iters, [
+                    ir.Try(
+                        [
+                            ir.Call("t", "thrower", ["j"]),
+                            ir.BinOp("y", "+", "y", "t"),
+                        ],
+                        "e",
+                        [ir.BinOp("y", "+", "y", "e")],
+                    ),
+                ]),
+                ir.Return("y"),
+            ]
+            self.functions.append(ir.Function(name, params=["x"], body=body))
+            self.try_names.append(name)
+
+    # -- main ---------------------------------------------------------------------
+
+    def _make_main(self):
+        spec = self.spec
+        rng = self.rng
+        phases = []
+        mids = (self.switch_names + self.ptr_names + self.tail_names
+                + self.try_names)
+        rng.shuffle(mids)
+        for name in mids:
+            phases += [
+                ir.Call("t", name, ["acc"]),
+                ir.BinOp("acc", "+", "acc", "t"),
+                ir.BinOp("acc", "&", "acc", 0xFFFFF),
+            ]
+        body = [ir.SetConst("acc", rng.randint(1, 64))]
+        if spec.lang == "go":
+            # Build the entry+1 pointer once (paper Listing 1).
+            body += [
+                ir.LoadGlobal("p", "goexit_slot"),
+                ir.BinOp("p", "+", "p", 1),
+                ir.StoreGlobal("goexit_cell", "p"),
+            ]
+        loop_body = list(phases)
+        if spec.lang == "go":
+            loop_body.append(ir.CallPtr("t", "goexit_cell", 0, args=["acc"]))
+            loop_body.append(ir.BinOp("acc", "^", "acc", "t"))
+            if spec.go_gc_period:
+                loop_body.append(ir.BinOp("k", "&", "rep",
+                                          spec.go_gc_period - 1))
+                loop_body.append(ir.If("k", "==", 0, [ir.Gc()]))
+        loop_body.append(ir.StoreGlobal("gstate", "acc", 0))
+        body.append(ir.Loop("rep", spec.main_reps, loop_body))
+        body += [
+            ir.LoadGlobal("t", "gstate", 0),
+            ir.Print("t"),
+            ir.Print("acc"),
+            ir.BinOp("acc", "&", "acc", 0x7F),
+            ir.Return("acc"),
+        ]
+        self.functions.append(ir.Function("main", body=body))
+
+
+def generate_program(spec):
+    """Generate the IR program for a workload spec."""
+    return ProgramBuilder(spec).build()
+
+
+def build_workload(spec, arch):
+    """Generate and compile a workload; returns (program, binary)."""
+    program = generate_program(spec)
+    return program, compile_program(program, arch)
+
+
+# ---------------------------------------------------------------------------
+# The SPEC CPU 2017-like suite (Section 8.1).
+#
+# 627.cam4_s is excluded exactly as in the paper (it did not compile).
+# The two C++-exception users are 620.omnetpp_s and 623.xalancbmk_s.
+# ---------------------------------------------------------------------------
+
+_SPEC_PERSONALITIES = {
+    # name: (lang, n_leaf, n_switch, n_ptr, n_tail, n_try, reps, hostility)
+    "600.perlbench_s": ("c", 10, 7, 2, 1, 0, 24, "high"),
+    "602.sgcc_s":      ("c", 12, 9, 3, 2, 0, 20, "high"),
+    "603.bwaves_s":    ("fortran", 12, 2, 1, 0, 0, 34, "low"),
+    "605.mcf_s":       ("c", 8, 3, 3, 1, 0, 30, "med"),
+    "607.cactuBSSN_s": ("cxx", 12, 4, 2, 1, 0, 24, "med"),
+    "619.lbm_s":       ("c", 8, 2, 1, 0, 0, 40, "low"),
+    "620.omnetpp_s":   ("cxx", 10, 5, 3, 1, 3, 18, "med"),
+    "621.wrf_s":       ("fortran", 14, 3, 1, 0, 0, 30, "low"),
+    "623.xalancbmk_s": ("cxx", 12, 6, 3, 1, 3, 16, "high"),
+    "625.x264_s":      ("c", 10, 5, 2, 1, 0, 26, "med"),
+    "628.pop2_s":      ("fortran", 12, 2, 1, 0, 0, 32, "low"),
+    "631.deepsjeng_s": ("cxx", 9, 5, 2, 1, 0, 24, "med"),
+    "638.imagick_s":   ("c", 11, 4, 2, 1, 0, 28, "med"),
+    "641.leela_s":     ("cxx", 9, 4, 2, 1, 0, 26, "med"),
+    "644.nab_s":       ("c", 9, 3, 1, 0, 0, 30, "low"),
+    "648.exchange2_s": ("fortran", 10, 4, 1, 0, 0, 28, "med"),
+    "649.fotonik3d_s": ("fortran", 11, 2, 1, 0, 0, 34, "low"),
+    "654.roms_s":      ("fortran", 12, 2, 1, 0, 0, 32, "low"),
+    "657.xz_s":        ("c", 9, 4, 2, 1, 0, 28, "med"),
+}
+
+SPEC_BENCHMARK_NAMES = tuple(sorted(_SPEC_PERSONALITIES))
+
+#: Benchmarks whose programs use C++ exceptions (as in the paper).
+SPEC_EXCEPTION_BENCHMARKS = ("620.omnetpp_s", "623.xalancbmk_s")
+
+_HOSTILITY = {
+    # spill_frac per hostility class
+    "low": 0.15, "med": 0.3, "high": 0.45,
+}
+
+#: Which benchmarks carry an analysis-resistant jump table, per
+#: architecture — mirroring the paper's coverage results: x86 jump tables
+#: fully analyzable (100% coverage), ppc64 the hardest (99.41% mean,
+#: 96.17% min), aarch64 nearly clean (99.99% mean).  With tens (not
+#: thousands) of functions per synthetic binary, one failed function
+#: costs a few percent, so incidence is tuned at suite granularity.
+_RESIST_BENCHMARKS = {
+    "x86": {},
+    "ppc64": {"602.sgcc_s": 1, "600.perlbench_s": 1,
+              "623.xalancbmk_s": 1, "625.x264_s": 1},
+    "aarch64": {"602.sgcc_s": 1},
+}
+
+
+def spec_workload(name, arch, pie=False, emit_link_relocs=False):
+    """The :class:`WorkloadSpec` for one SPEC-like benchmark on ``arch``."""
+    lang, n_leaf, n_switch, n_ptr, n_tail, n_try, reps, hostility = (
+        _SPEC_PERSONALITIES[name]
+    )
+    return WorkloadSpec(
+        name=f"{name}:{arch}",
+        lang=lang,
+        n_leaf=n_leaf,
+        n_switch=n_switch,
+        n_ptr=n_ptr,
+        n_tail=n_tail,
+        n_try=n_try,
+        main_reps=reps,
+        inner_iters=8,
+        leaf_iters=6,
+        spill_frac=_HOSTILITY[hostility],
+        resist_count=_RESIST_BENCHMARKS[arch].get(name, 0),
+        pie=pie,
+        emit_link_relocs=emit_link_relocs,
+    )
+
+
+def spec_suite(arch, pie=False, emit_link_relocs=False):
+    """Generate and compile the whole suite; yields (name, program, binary)."""
+    for name in SPEC_BENCHMARK_NAMES:
+        spec = spec_workload(name, arch, pie=pie,
+                             emit_link_relocs=emit_link_relocs)
+        program, binary = build_workload(spec, arch)
+        yield name, program, binary
+
+
+# ---------------------------------------------------------------------------
+# Real-world application stand-ins (Sections 8.2 and 9).
+# ---------------------------------------------------------------------------
+
+def firefox_spec():
+    """libxul.so-like: large, Rust/C++ mixed, shared-library build."""
+    return WorkloadSpec(
+        name="libxul_like",
+        lang="rust",
+        n_leaf=70,
+        n_switch=30,
+        n_ptr=12,
+        n_tail=5,
+        main_reps=8,
+        inner_iters=6,
+        spill_frac=0.3,
+        resist_count=1,
+        pie=True,
+        extra_features=("rust_metadata",),
+    )
+
+
+def docker_spec():
+    """Docker-like: Go binary, PIE, runtime GC, vtab tables, entry+1."""
+    return WorkloadSpec(
+        name="docker_like",
+        lang="go",
+        n_leaf=16,
+        n_switch=3,     # become compare chains: Go emits no jump tables
+        n_ptr=8,
+        n_tail=0,
+        main_reps=16,
+        inner_iters=10,
+        leaf_iters=2,
+        go_vtab_size=8,
+        go_gc_period=4,
+        pie=True,
+    )
+
+
+def libcuda_spec():
+    """libcuda.so-like: big, stripped, versioned symbols; contains an
+    internal synchronization function reachable from exported entries."""
+    return WorkloadSpec(
+        name="libcuda_like",
+        lang="cxx",
+        n_leaf=36,
+        n_switch=16,
+        n_hot=8,
+        n_ptr=6,
+        n_tail=2,
+        n_try=0,
+        main_reps=8,
+        inner_iters=6,
+        spill_frac=0.35,
+        resist_count=2,
+        pie=True,
+        strip=True,
+        extra_features=("symbol_versioning",),
+    )
+
+
+def firefox_like(arch="x86"):
+    return build_workload(firefox_spec(), arch)
+
+
+def docker_like(arch="x86"):
+    return build_workload(docker_spec(), arch)
+
+
+def libcuda_like(arch="x86"):
+    return build_workload(libcuda_spec(), arch)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every layer raises a subclass of :class:`ReproError` so callers can
+distinguish "the tool detected a problem and reported it" (e.g.
+:class:`AnalysisError`, the paper's *analysis reporting failure* mode)
+from genuine bugs, which surface as ordinary Python exceptions.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """An instruction cannot be encoded (bad operands, out-of-range field)."""
+
+
+class DecodingError(ReproError):
+    """Bytes do not decode to a valid instruction for the architecture."""
+
+
+class AnalysisError(ReproError):
+    """Binary analysis detected a construct it cannot handle.
+
+    This corresponds to the paper's *analysis reporting failure* (Section
+    4.3, Figure 2): the analysis fails gracefully and the rewriter responds
+    by marking the affected function uninstrumentable rather than producing
+    a wrong binary.
+    """
+
+
+class RewriteError(ReproError):
+    """The rewriter cannot produce a correct output binary.
+
+    Raised e.g. by the IR-lowering baseline when a single function resists
+    analysis (the "all-or-nothing" failure the paper criticises), or by the
+    func-ptr mode when function pointers cannot be identified precisely.
+    """
+
+
+class MachineFault(ReproError):
+    """The emulated machine hit a fatal condition (crash of the workload)."""
+
+    def __init__(self, message, pc=None):
+        super().__init__(message)
+        self.pc = pc
+
+
+class IllegalInstructionFault(MachineFault):
+    """Execution reached bytes that are not a valid instruction.
+
+    The strong rewrite test (Section 8) fills the original ``.text`` with
+    illegal bytes; any control flow that escapes the rewritten code without
+    hitting a trampoline dies here, which is exactly what makes the test
+    strong.
+    """
+
+
+class UnmappedMemoryFault(MachineFault):
+    """A load, store or fetch touched an address outside mapped memory."""
+
+
+class UnwindError(ReproError):
+    """Stack unwinding failed (e.g. a return address resolves to no frame).
+
+    Go's runtime aborts with "unknown pc" in this situation; C++ calls
+    ``std::terminate``.  A rewritten binary without return-address
+    translation triggers this, which is the behaviour Section 6 fixes.
+    """

@@ -1,0 +1,48 @@
+"""Small integer helpers used by encoders, the emulator and analyses."""
+
+MASK64 = (1 << 64) - 1
+
+
+def u64(value):
+    """Wrap an integer to an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def s64(value):
+    """Interpret an integer's low 64 bits as a signed 64-bit value."""
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def sign_extend(value, bits):
+    """Sign-extend the low ``bits`` bits of ``value``."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def fits_signed(value, bits):
+    """Return True when ``value`` fits a signed ``bits``-bit field."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value, bits):
+    """Return True when ``value`` fits an unsigned ``bits``-bit field."""
+    return 0 <= value <= (1 << bits) - 1
+
+
+def align_up(value, alignment):
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value, alignment):
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 1:
+        return value
+    return value // alignment * alignment

@@ -1,0 +1,297 @@
+"""Binary analysis: CFG construction, jump tables, function pointers,
+tail calls, liveness, failure injection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    BinaryCFG,
+    ConstructionOptions,
+    FailurePlan,
+    JumpTable,
+    LivenessAnalysis,
+    analyze_function_pointers,
+    build_cfg,
+    inject_failures,
+)
+from repro.analysis.cfg import CALL_FALLTHROUGH, JUMP_TABLE, TAIL_CALL
+from repro.isa import get_arch
+from repro.isa.registers import GPRS, R0, SP, TOC
+from repro.toolchain import compile_program, ir
+from repro.toolchain.workloads import docker_like, libcuda_like
+from tests.conftest import ARCHES, compiled, workload
+
+
+@pytest.fixture(scope="module")
+def sgcc(request):
+    """One CFG per arch, cached."""
+    cache = {}
+
+    def get(arch):
+        if arch not in cache:
+            program, binary = workload("602.sgcc_s", arch)
+            cache[arch] = (binary, build_cfg(binary))
+        return cache[arch]
+    return get
+
+
+class TestCfgStructure:
+    def test_blocks_partition_without_overlap(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        for fcfg in cfg.ok_functions():
+            blocks = fcfg.sorted_blocks()
+            for a, b in zip(blocks, blocks[1:]):
+                assert a.end <= b.start, f"{fcfg.name}: overlapping blocks"
+            for block in blocks:
+                assert block.size > 0
+                # at most one control-flow insn, at the end
+                for insn in block.insns[:-1]:
+                    assert not insn.is_terminator
+
+    def test_edges_target_real_blocks(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        for fcfg in cfg.ok_functions():
+            for block in fcfg.sorted_blocks():
+                for kind, target in block.succs:
+                    if kind == TAIL_CALL or target is None:
+                        continue
+                    if kind == CALL_FALLTHROUGH:
+                        assert target in fcfg.blocks
+                    elif kind == JUMP_TABLE:
+                        assert target in fcfg.blocks
+
+    def test_every_function_entry_is_a_block(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        for fcfg in cfg.ok_functions():
+            assert fcfg.entry in fcfg.blocks
+
+    def test_call_sites_recorded(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        main = cfg.by_name["main"]
+        assert main.call_sites
+        entries = {f.entry for f in cfg}
+        for _addr, target in main.call_sites:
+            assert target in entries
+
+    def test_runtime_support_flagged(self):
+        program, binary = workload("620.omnetpp_s", "x86")
+        cfg = build_cfg(binary)
+        assert cfg.by_name["__throw_helper"].is_runtime_support
+
+    def test_landing_pads_are_blocks(self):
+        program, binary = workload("620.omnetpp_s", "x86")
+        cfg = build_cfg(binary)
+        pads = [f for f in cfg.ok_functions() if f.landing_pad_blocks]
+        assert pads
+        for fcfg in pads:
+            for handler in fcfg.landing_pad_blocks:
+                assert handler in fcfg.blocks
+
+    def test_split_block(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        fcfg = cfg.by_name["main"]
+        big = next(b for b in fcfg.sorted_blocks() if len(b.insns) >= 3)
+        split_at = big.insns[1].addr
+        new = fcfg.split_block(split_at)
+        assert new is not None
+        assert new.start == split_at
+        assert fcfg.blocks[big.start].end == split_at
+        # splitting at a block start is a no-op
+        assert fcfg.split_block(split_at) is None
+
+
+class TestJumpTableAnalysis:
+    def test_tables_match_ground_truth(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        truth = {t["table_addr"]: t
+                 for t in binary.metadata["jump_tables"]
+                 if not t["resist"]}
+        resolved = {jt.table_addr: jt
+                    for f in cfg.ok_functions() for jt in f.jump_tables}
+        assert set(resolved) == set(truth)
+        for addr, jt in resolved.items():
+            t = truth[addr]
+            assert jt.count == t["entries"]
+            assert jt.entry_size == t["entry_size"]
+            assert jt.targets == t["case_addrs"]
+
+    def test_resistant_tables_fail_function(self, sgcc):
+        binary, cfg = sgcc("ppc64")
+        resist_fns = {t["func"] for t in binary.metadata["jump_tables"]
+                      if t["resist"]}
+        assert resist_fns
+        for name in resist_fns:
+            assert not cfg.by_name[name].ok
+
+    def test_weak_analyzer_fails_on_spills(self, arch, sgcc):
+        binary, _ = sgcc(arch)
+        weak = build_cfg(binary, ConstructionOptions(
+            track_spills=False, tail_call_heuristic=False
+        ))
+        spill_fns = {t["func"] for t in binary.metadata["jump_tables"]
+                     if t["spill"]}
+        assert spill_fns
+        for name in spill_fns:
+            assert not weak.by_name[name].ok
+
+    def test_strong_analyzer_handles_spills(self, arch, sgcc):
+        binary, cfg = sgcc(arch)
+        spill_fns = {t["func"] for t in binary.metadata["jump_tables"]
+                     if t["spill"]}
+        for name in spill_fns:
+            assert cfg.by_name[name].ok
+
+    def test_tar_solve_roundtrip(self):
+        jt = JumpTable(0, 0x2000, 4, 3, "base_plus", 0x2000, True,
+                       14, 0, [0x2100, 0x2200, 0x2300])
+        for y in jt.targets:
+            assert jt.tar(jt.solve(y)) == y
+        jt2 = JumpTable(0, 0x2000, 1, 3, "base_plus_shifted", 0x1000,
+                        False, 14, 0, [0x1100], shift=2)
+        assert jt2.tar(jt2.solve(0x1100)) == 0x1100
+        with pytest.raises(ValueError):
+            jt2.solve(0x1101)   # not shift-aligned
+
+    def test_indirect_tail_calls_identified(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        cfg = build_cfg(binary)
+        tailers = [f for f in cfg.ok_functions()
+                   if f.indirect_tail_call_sites]
+        assert tailers, "workload has tail-call functions"
+
+    def test_tail_calls_fail_without_heuristic(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        weak = build_cfg(binary, ConstructionOptions(
+            tail_call_heuristic=False
+        ))
+        strong = build_cfg(binary)
+        tailer_names = {f.name for f in strong.ok_functions()
+                        if f.indirect_tail_call_sites}
+        for name in tailer_names:
+            assert not weak.by_name[name].ok
+
+
+class TestFunctionPointerAnalysis:
+    def test_c_workloads_precise(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        cfg = build_cfg(binary)
+        result = analyze_function_pointers(binary, cfg, get_arch(arch))
+        assert result.precise
+        assert result.data_defs
+
+    def test_data_defs_point_at_functions(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        cfg = build_cfg(binary)
+        result = analyze_function_pointers(binary, cfg, get_arch(arch))
+        entries = {f.entry for f in cfg}
+        for d in result.data_defs:
+            assert d.target in entries
+
+    def test_go_vtab_defeats_precision(self):
+        program, binary = docker_like()
+        cfg = build_cfg(binary)
+        result = analyze_function_pointers(binary, cfg, get_arch("x86"))
+        assert not result.precise
+        assert any("computed code pointer" in r for r in result.reasons)
+
+    def test_go_entry_plus_one_flow_found(self):
+        program, binary = docker_like()
+        cfg = build_cfg(binary)
+        result = analyze_function_pointers(binary, cfg, get_arch("x86"))
+        deltas = {d.delta for d in result.derived_defs}
+        assert 1 in deltas
+
+
+class TestLiveness:
+    def test_temps_dead_at_leaf_entry(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        cfg = build_cfg(binary)
+        leaf = cfg.by_name["leaf0"]
+        live = LivenessAnalysis(leaf, get_arch(arch))
+        dead = live.dead_gprs_at(leaf.entry)
+        assert 15 in dead and 14 in dead
+
+    def test_sp_toc_always_live(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        cfg = build_cfg(binary)
+        fcfg = cfg.by_name["main"]
+        live = LivenessAnalysis(fcfg, get_arch(arch))
+        for start in fcfg.blocks:
+            live_in = live.live_in(start)
+            assert SP in live_in and TOC in live_in
+
+    def test_landing_pad_r0_live(self):
+        program, binary = workload("620.omnetpp_s", "x86")
+        cfg = build_cfg(binary)
+        for fcfg in cfg.ok_functions():
+            live = LivenessAnalysis(fcfg, get_arch("x86"))
+            for handler in fcfg.landing_pad_blocks:
+                assert R0 in live.live_in(handler)
+
+    def test_all_live_block_has_no_dead_gprs(self):
+        """Hand-built block reading every GPR before writing: nothing is
+        dead at its start (the no-scratch-register trampoline case)."""
+        from repro.analysis.cfg import BasicBlock, FunctionCFG
+        from repro.isa import Instruction
+
+        insns = []
+        addr = 0x1000
+        for reg in GPRS:
+            insn = Instruction("add", 0, reg, reg, addr=addr)
+            insn.length = 4
+            insns.append(insn)
+            addr += 4
+        term = Instruction("ret", addr=addr)
+        term.length = 4
+        insns.append(term)
+        fcfg = FunctionCFG("hostile", 0x1000, addr + 4)
+        fcfg.add_block(BasicBlock(0x1000, insns, "hostile"))
+        live = LivenessAnalysis(fcfg, get_arch("aarch64"))
+        assert live.dead_gprs_at(0x1000) == []
+
+
+class TestFailureInjection:
+    def test_report_injection(self, sgcc):
+        binary, _ = sgcc("x86")
+        cfg = build_cfg(binary)
+        inject_failures(cfg, FailurePlan(report={"switcher1"}))
+        assert not cfg.by_name["switcher1"].ok
+
+    def test_overapprox_splits_block(self, sgcc):
+        binary, _ = sgcc("x86")
+        cfg = build_cfg(binary)
+        before = len(cfg.by_name["switcher1"].blocks)
+        inject_failures(cfg, FailurePlan(overapproximate={"switcher1"}))
+        fcfg = cfg.by_name["switcher1"]
+        assert len(fcfg.blocks) == before + 1
+        split = fcfg.injected_overapprox_target
+        assert any(src is None for _k, src in fcfg.blocks[split].preds)
+
+    def test_underapprox_hides_target(self, sgcc):
+        binary, _ = sgcc("x86")
+        cfg = build_cfg(binary)
+        inject_failures(cfg, FailurePlan(underapproximate={"switcher1"}))
+        fcfg = cfg.by_name["switcher1"]
+        hidden = fcfg.injected_hidden_target
+        for jt in fcfg.jump_tables:
+            assert hidden not in jt.targets
+
+
+class TestStrippedBinaries:
+    def test_functions_discovered_without_symbols(self):
+        program, binary = libcuda_like()
+        cfg = build_cfg(binary)
+        named = {s.name for s in binary.function_symbols()}
+        discovered = [f for f in cfg.sorted_functions()
+                      if f.name.startswith("func_")]
+        assert discovered, "stripped binary should need discovery"
+        assert len(list(cfg)) > len(named)
+
+    def test_discovered_functions_conservative_on_tail_calls(self):
+        """Without size info the gap heuristic cannot run: unresolved
+        indirect jumps in discovered functions fail the function."""
+        program, binary = libcuda_like()
+        cfg = build_cfg(binary)
+        for fcfg in cfg.sorted_functions():
+            if fcfg.name.startswith("func_") and fcfg.ok:
+                assert not fcfg.indirect_tail_call_sites

@@ -1,0 +1,208 @@
+"""Baseline rewriters: SRBI, IR lowering, dynamic translation,
+instruction patching, BOLT."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.baselines import (
+    BoltOptimizer,
+    DynamicTranslationRewriter,
+    InstructionPatcher,
+    IrLoweringRewriter,
+    SrbiRewriter,
+    is_corrupted,
+)
+from repro.core import RewriteMode, RuntimeLibrary, rewrite_binary
+from repro.machine import run_binary
+from repro.toolchain.workloads import docker_like, firefox_like, libcuda_like
+from repro.util.errors import MachineFault, RewriteError
+from tests.conftest import ARCHES, oracle_of, workload
+
+
+class TestSrbi:
+    def test_correct_rewriting(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        rewriter = SrbiRewriter(scorch_original=True)
+        rewritten, report = rewriter.rewrite(binary)
+        runtime = rewriter.runtime_library(rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+    def test_per_block_trampolines(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        srbi = SrbiRewriter()
+        _, srbi_report = srbi.rewrite(binary)
+        _, ours_report, _ = rewrite_binary(binary, RewriteMode.DIR)
+        assert (sum(srbi_report.trampolines.values())
+                > 1.5 * sum(ours_report.trampolines.values()))
+
+    def test_lower_coverage_than_ours(self, arch):
+        program, binary = workload("602.sgcc_s", arch)
+        _, srbi_report = SrbiRewriter().rewrite(binary)
+        _, ours_report, _ = rewrite_binary(binary, RewriteMode.DIR)
+        assert srbi_report.coverage < ours_report.coverage
+
+    def test_refuses_exceptions(self, arch):
+        program, binary = workload("620.omnetpp_s", arch)
+        with pytest.raises(RewriteError, match="C\\+\\+"):
+            SrbiRewriter().rewrite(binary)
+
+    def test_higher_overhead_than_ours(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        base = run_binary(binary).cycles
+        srbi = SrbiRewriter(scorch_original=True)
+        rewritten, _ = srbi.rewrite(binary)
+        srbi_cycles = run_binary(
+            rewritten, runtime_lib=srbi.runtime_library(rewritten)
+        ).cycles
+        rewritten, _, runtime = rewrite_binary(
+            binary, RewriteMode.FUNC_PTR, scorch_original=True
+        )
+        ours_cycles = run_binary(rewritten, runtime_lib=runtime).cycles
+        assert srbi_cycles > ours_cycles
+
+    def test_trap_budget_crash(self):
+        """The modeled signal-delivery defect: hot traps kill the run."""
+        program, binary = libcuda_like()
+        srbi = SrbiRewriter(trap_budget=5)
+        rewritten, report = srbi.rewrite(binary)
+        if report.traps == 0:
+            pytest.skip("no trap trampolines on this layout")
+        runtime = srbi.runtime_library(rewritten)
+        with pytest.raises(MachineFault, match="unhandled trap"):
+            run_binary(rewritten, runtime_lib=runtime)
+
+
+class TestIrLowering:
+    def test_near_zero_overhead(self):
+        program, binary = workload("605.mcf_s", "x86", pie=True)
+        base = run_binary(binary).cycles
+        rewriter = IrLoweringRewriter()
+        rewritten, report = rewriter.rewrite(binary)
+        result = run_binary(rewritten)
+        assert (result.exit_code, result.output) == oracle_of(program)
+        assert abs(result.cycles / base - 1) < 0.01
+        assert report.size_increase < 0.3
+
+    def test_refuses_position_dependent(self):
+        program, binary = workload("605.mcf_s", "x86")
+        with pytest.raises(RewriteError, match="position-dependent"):
+            IrLoweringRewriter().rewrite(binary)
+
+    def test_refuses_exceptions(self):
+        program, binary = workload("620.omnetpp_s", "x86", pie=True)
+        with pytest.raises(RewriteError, match="exception"):
+            IrLoweringRewriter().rewrite(binary)
+
+    def test_all_or_nothing(self):
+        program, binary = workload("602.sgcc_s", "ppc64", pie=True)
+        with pytest.raises(RewriteError, match="all-or-nothing"):
+            IrLoweringRewriter().rewrite(binary)
+
+    def test_refuses_rust_metadata(self):
+        program, binary = firefox_like()
+        with pytest.raises(RewriteError,
+                           match="rust_metadata|symbol versioning"):
+            IrLoweringRewriter().rewrite(binary)
+
+    def test_refuses_go(self):
+        program, binary = docker_like()
+        with pytest.raises(RewriteError):
+            IrLoweringRewriter().rewrite(binary)
+
+    def test_refuses_symbol_versioning(self):
+        program, binary = libcuda_like()
+        with pytest.raises(RewriteError):
+            IrLoweringRewriter().rewrite(binary)
+
+
+class TestDynamicTranslation:
+    def test_correct_but_expensive(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        base = run_binary(binary).cycles
+        rewriter = DynamicTranslationRewriter()
+        rewritten, report = rewriter.rewrite(binary)
+        runtime = rewriter.runtime_library(rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+        assert result.counters["dyn_translations"] > 100
+        assert result.cycles / base - 1 > 0.3   # prohibitive overhead
+
+    def test_no_trampolines(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        rewriter = DynamicTranslationRewriter()
+        rewritten, report = rewriter.rewrite(binary)
+        assert sum(report.trampolines.values()) == 0
+
+    def test_dyn_map_section_emitted(self):
+        program, binary = workload("605.mcf_s", "x86")
+        rewriter = DynamicTranslationRewriter()
+        rewritten, _ = rewriter.rewrite(binary)
+        assert rewritten.get_section(".dyn_map") is not None
+
+
+class TestInstructionPatching:
+    def test_correct_but_very_expensive(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        base = run_binary(binary).cycles
+        patcher = InstructionPatcher()
+        rewritten, report = patcher.rewrite(binary)
+        runtime = RuntimeLibrary.from_binary(rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+        assert result.cycles > base * 1.3
+
+    def test_works_on_analysis_resistant_code(self):
+        """No analysis, no analysis failures: the generality upside."""
+        program, binary = workload("602.sgcc_s", "ppc64")
+        patcher = InstructionPatcher()
+        rewritten, report = patcher.rewrite(binary)
+        # ours marks resistant functions uninstrumentable...
+        cfg = build_cfg(binary)
+        assert cfg.failed_functions()
+        runtime = RuntimeLibrary.from_binary(rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+
+class TestBolt:
+    def test_function_reorder_needs_link_relocs(self):
+        program, binary = workload("605.mcf_s", "x86")
+        with pytest.raises(RewriteError, match="BOLT-ERROR"):
+            BoltOptimizer().reorder_functions(binary)
+
+    def test_pie_runtime_relocs_do_not_help(self):
+        program, binary = workload("605.mcf_s", "x86", pie=True)
+        assert binary.relocations   # PIE has run-time relocations...
+        with pytest.raises(RewriteError, match="BOLT-ERROR"):
+            BoltOptimizer().reorder_functions(binary)   # ...still fails
+
+    def test_function_reorder_with_link_relocs(self):
+        program, binary = workload("605.mcf_s", "x86",
+                                   emit_link_relocs=True)
+        rewritten, report = BoltOptimizer().reorder_functions(binary)
+        assert not is_corrupted(rewritten)
+        result = run_binary(rewritten)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+    def test_exception_binaries_survive_reorder(self):
+        """BOLT's DWARF update keeps unwinding working after reordering."""
+        program, binary = workload("620.omnetpp_s", "x86",
+                                   emit_link_relocs=True)
+        rewritten, _ = BoltOptimizer().reorder_functions(binary)
+        result = run_binary(rewritten)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+    def test_block_reorder_without_relocs(self):
+        program, binary = workload("619.lbm_s", "x86")
+        rewritten, report = BoltOptimizer().reorder_blocks(binary)
+        if is_corrupted(rewritten):
+            note = rewritten.get_section(".note")
+            assert not bytes(note.data).startswith(b"SYNTH-INTERP")
+        else:
+            result = run_binary(rewritten)
+            assert (result.exit_code, result.output) == oracle_of(program)
+
+    def test_corruption_is_detectable(self):
+        program, binary = workload("605.mcf_s", "x86")
+        assert not is_corrupted(binary)

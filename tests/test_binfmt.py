@@ -1,0 +1,212 @@
+"""Binary format: sections, symbols, relocations, unwind, roundtrips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binfmt import (
+    Binary,
+    FuncRange,
+    LandingPad,
+    RA_IN_LR,
+    RA_ON_STACK,
+    Relocation,
+    R_ABS64,
+    R_RELATIVE,
+    Section,
+    Symbol,
+    SymbolTable,
+    UnwindRecipe,
+    UnwindTable,
+    make_alloc_section,
+)
+from repro.binfmt.symbols import FUNC, OBJECT
+
+
+class TestSection:
+    def test_bounds_and_flags(self):
+        sec = make_alloc_section(".text", 0x1000, b"\x90" * 64, exec_=True)
+        assert sec.size == 64
+        assert sec.end == 0x1040
+        assert sec.is_exec and sec.is_alloc and not sec.is_writable
+        assert sec.contains(0x1000) and sec.contains(0x103F)
+        assert not sec.contains(0x1040)
+
+    def test_read_write(self):
+        sec = make_alloc_section(".data", 0x100, b"\0" * 16, writable=True)
+        sec.write(0x104, b"\xAA\xBB")
+        assert sec.read(0x104, 2) == b"\xAA\xBB"
+
+    def test_out_of_range_access(self):
+        sec = Section(".x", 0x100, b"\0" * 8, ("ALLOC",))
+        with pytest.raises(ValueError):
+            sec.offset_of(0x200)
+        with pytest.raises(ValueError):
+            sec.read(0x106, 4)
+        with pytest.raises(ValueError):
+            sec.write(0x106, b"1234")
+
+    def test_renamed_copy(self):
+        sec = Section(".dynsym", 0x100, b"abc", ("ALLOC",))
+        copy = sec.renamed(".dynsym_old")
+        assert copy.name == ".dynsym_old"
+        assert copy.addr == sec.addr
+        assert bytes(copy.data) == b"abc"
+
+
+class TestSymbolTable:
+    def test_lookup(self):
+        table = SymbolTable([
+            Symbol("f", 0x100, 0x40, FUNC),
+            Symbol("g", 0x140, 0x20, FUNC),
+            Symbol("data", 0x200, 8, OBJECT),
+        ])
+        assert table["f"].addr == 0x100
+        assert table.get("missing") is None
+        assert "g" in table
+        assert len(table.functions()) == 2
+
+    def test_function_at(self):
+        table = SymbolTable([
+            Symbol("f", 0x100, 0x40, FUNC),
+            Symbol("g", 0x140, 0x20, FUNC),
+        ])
+        assert table.function_at(0x120).name == "f"
+        assert table.function_at(0x140).name == "g"
+        assert table.function_at(0x160) is None
+
+
+class TestRelocations:
+    def test_relative_applies_bias(self):
+        r = Relocation(0x200, R_RELATIVE, 0x1000)
+        assert r.value_for_bias(0x40000) == 0x41000
+
+    def test_abs_ignores_bias(self):
+        r = Relocation(0x200, R_ABS64, 0x1000)
+        assert r.value_for_bias(0x40000) == 0x1000
+
+
+class TestUnwind:
+    def test_recipe_pack_roundtrip(self):
+        recipe = UnwindRecipe(0x100, 0x180, 24, RA_ON_STACK, 16,
+                              ((4, 8), (5, 16)))
+        packed = recipe.pack()
+        assert len(packed) == recipe.packed_size
+        assert UnwindRecipe.unpack(packed) == recipe
+
+    def test_table_lookup_and_roundtrip(self):
+        table = UnwindTable([
+            UnwindRecipe(0x100, 0x180, 24, RA_ON_STACK, 16),
+            UnwindRecipe(0x180, 0x200, 0, RA_IN_LR),
+        ])
+        assert table.recipe_for(0x150).frame_size == 24
+        assert table.recipe_for(0x180).ra_rule == RA_IN_LR
+        assert table.recipe_for(0x200) is None
+        assert UnwindTable.unpack(table.pack()).recipes == table.recipes
+
+    def test_landing_pad(self):
+        pad = LandingPad(0x100, 0x140, 0x200)
+        assert pad.covers(0x100) and pad.covers(0x13F)
+        assert not pad.covers(0x140)
+        assert LandingPad.unpack(pad.pack()) == pad
+
+    def test_func_range(self):
+        fr = FuncRange(0x100, 0x140, "main")
+        assert fr.covers(0x100) and not fr.covers(0x140)
+
+
+def _sample_binary():
+    binary = Binary("test", "x86", "PIE", entry=0x1000)
+    binary.add_section(make_alloc_section(".text", 0x1000,
+                                          b"\x3d" * 32, exec_=True))
+    binary.add_section(make_alloc_section(".data", 0x2000, b"\0" * 64,
+                                          writable=True))
+    binary.symbols.add(Symbol("main", 0x1000, 32, FUNC))
+    binary.relocations.append(Relocation(0x2000, R_RELATIVE, 0x1000))
+    binary.unwind = UnwindTable(
+        [UnwindRecipe(0x1000, 0x1020, 24, RA_ON_STACK, 16, ((4, 8),))]
+    )
+    binary.landing_pads.append(LandingPad(0x1000, 0x1010, 0x1018))
+    binary.func_table.append(FuncRange(0x1000, 0x1020, "main"))
+    binary.metadata = {"lang": "c", "features": ("x",), "pie": True}
+    return binary
+
+
+class TestBinary:
+    def test_section_queries(self):
+        b = _sample_binary()
+        assert b.section(".text").is_exec
+        assert b.get_section(".missing") is None
+        with pytest.raises(KeyError):
+            b.section(".missing")
+        assert b.section_containing(0x2010).name == ".data"
+        assert b.section_containing(0x9999) is None
+
+    def test_duplicate_section_rejected(self):
+        b = _sample_binary()
+        with pytest.raises(ValueError):
+            b.add_section(Section(".text", 0x5000, b"", ("ALLOC",)))
+
+    def test_read_write_int(self):
+        b = _sample_binary()
+        b.write_int(0x2008, -5, 8)
+        assert b.read_int(0x2008, 8, signed=True) == -5
+
+    def test_loaded_size(self):
+        b = _sample_binary()
+        assert b.loaded_size() == 32 + 64
+
+    def test_next_free_addr(self):
+        b = _sample_binary()
+        assert b.next_free_addr(16) == 0x2040
+
+    def test_serialization_roundtrip(self):
+        b = _sample_binary()
+        blob = b.to_bytes()
+        again = Binary.from_bytes(blob)
+        assert again.to_bytes() == blob
+        assert again.name == b.name
+        assert again.entry == b.entry
+        assert again.metadata["lang"] == "c"
+        assert tuple(again.metadata["features"]) == ("x",)
+        assert len(again.unwind) == 1
+        assert again.unwind.recipes[0].saved_regs == ((4, 8),)
+        assert again.landing_pads == b.landing_pads
+        assert again.func_table == b.func_table
+        assert again.relocations == b.relocations
+
+    def test_clone_is_independent(self):
+        b = _sample_binary()
+        c = b.clone()
+        c.write_int(0x2000, 0xDEAD, 8)
+        assert b.read_int(0x2000, 8) != 0xDEAD
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            Binary.from_bytes(b"NOPE" + b"\0" * 32)
+
+    def test_is_pic(self):
+        assert _sample_binary().is_pic
+        b = Binary("t", "x86", "EXEC")
+        assert not b.is_pic
+
+
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(0, 2 ** 32), st.integers(0, 255),
+            st.integers(0, 1), st.integers(-1000, 1000),
+            st.lists(st.tuples(st.integers(0, 19),
+                               st.integers(0, 256)), max_size=3),
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_unwind_table_roundtrip(entries):
+    recipes = [
+        UnwindRecipe(start, start + size + 1, frame, rule, 0,
+                     tuple(saved))
+        for start, size, rule, frame, saved in entries
+    ]
+    table = UnwindTable(recipes)
+    assert UnwindTable.unpack(table.pack()).recipes == table.recipes

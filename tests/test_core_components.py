@@ -1,0 +1,337 @@
+"""Core components in isolation: CFL analysis, placement, trampolines,
+scratch pools, instrumentation, layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import build_cfg, analyze_function_pointers
+from repro.binfmt import Binary, make_alloc_section
+from repro.core import (
+    CflAnalysis,
+    RewriteMode,
+    ScratchPool,
+    TrampolineInstaller,
+    catalog,
+    place_trampolines,
+    section_layout_report,
+)
+from repro.core.layout import DYNAMIC_SECTIONS, prepare_output
+from repro.core.placement import padding_ranges
+from repro.isa import get_arch
+from tests.conftest import workload
+
+from repro.toolchain.workloads import docker_like
+
+
+def _ctx(name="602.sgcc_s", arch="x86", mode=RewriteMode.JT, **kw):
+    program, binary = workload(name, arch)
+    cfg = build_cfg(binary)
+    fp = analyze_function_pointers(binary, cfg, get_arch(arch))
+    cfl = CflAnalysis(binary, cfg, mode, fp, **kw)
+    return binary, cfg, fp, cfl
+
+
+class TestCflAnalysis:
+    def test_jump_table_targets_cfl_only_in_dir_mode(self):
+        binary, cfg, fp, cfl_dir = _ctx(mode=RewriteMode.DIR)
+        _, _, _, cfl_jt = _ctx(mode=RewriteMode.JT)
+        fcfg = next(f for f in cfg.ok_functions() if f.jump_tables)
+        dir_set = cfl_dir.cfl_blocks(fcfg)
+        jt_set = cfl_jt.cfl_blocks(fcfg)
+        targets = {t for jt in fcfg.jump_tables for t in jt.targets
+                   if t in fcfg.blocks}
+        assert targets <= dir_set
+        assert not (targets & jt_set - {fcfg.entry})
+
+    def test_funcptr_mode_drops_address_taken_entries(self):
+        binary, cfg, fp, cfl_jt = _ctx("605.mcf_s", mode=RewriteMode.JT)
+        _, _, _, cfl_fp = _ctx("605.mcf_s", mode=RewriteMode.FUNC_PTR)
+        taken = {d.target for d in fp.data_defs}
+        # a non-exported address-taken leaf: CFL in jt, not in func-ptr
+        sample = [cfg.functions[t] for t in taken
+                  if cfg.functions[t].name.startswith("leaf")]
+        assert sample
+        for fcfg in sample:
+            assert cfl_jt.entry_is_cfl(fcfg)
+        dropped = [f for f in sample if not cfl_fp.entry_is_cfl(f)]
+        assert dropped, "func-ptr mode should drop some entries"
+
+    def test_call_emulation_adds_fallthrough_blocks(self):
+        binary, cfg, fp, plain = _ctx()
+        _, _, _, emul = _ctx(call_emulation=True)
+        fcfg = cfg.by_name["main"]
+        plain_set = plain.cfl_blocks(fcfg)
+        emul_set = emul.cfl_blocks(fcfg)
+        assert plain_set < emul_set
+        # every extra block follows a call
+        extra = emul_set - plain_set
+        call_ends = {b.end for b in fcfg.sorted_blocks()
+                     if b.terminator is not None and b.terminator.is_call}
+        assert extra <= call_ends
+
+    def test_landing_pads_always_cfl(self):
+        binary, cfg, fp, cfl = _ctx("620.omnetpp_s",
+                                    mode=RewriteMode.FUNC_PTR)
+        for fcfg in cfg.ok_functions():
+            if fcfg.landing_pad_blocks:
+                assert fcfg.landing_pad_blocks <= cfl.cfl_blocks(fcfg)
+
+    def test_entry_point_always_cfl(self):
+        binary, cfg, fp, cfl = _ctx(mode=RewriteMode.FUNC_PTR)
+        entry_fn = cfg.function_at(binary.entry)
+        assert cfl.entry_is_cfl(entry_fn)
+
+    def test_imprecise_pointers_make_all_entries_cfl(self):
+        program, binary = docker_like()
+        cfg = build_cfg(binary)
+        fp = analyze_function_pointers(binary, cfg, get_arch("x86"))
+        assert not fp.precise
+        cfl = CflAnalysis(binary, cfg, RewriteMode.JT, fp)
+        for fcfg in cfg.ok_functions():
+            if fcfg.is_runtime_support:
+                continue
+            assert cfl.entry_is_cfl(fcfg)
+
+
+class TestPlacement:
+    def test_superblocks_extend_into_scratch(self):
+        binary, cfg, fp, cfl = _ctx(mode=RewriteMode.JT)
+        placement = place_trampolines(cfg, cfl)
+        by_site = {sb.cfl_start: sb for sb in placement.superblocks}
+        extended = [sb for sb in placement.superblocks
+                    if sb.end > cfg.block_containing(sb.cfl_start)[1].end]
+        assert extended, "some superblock should absorb scratch blocks"
+
+    def test_superblocks_only_at_cfl_blocks(self):
+        binary, cfg, fp, cfl = _ctx(mode=RewriteMode.JT)
+        placement = place_trampolines(cfg, cfl)
+        for sb in placement.superblocks:
+            assert sb.cfl_start in placement.cfl_by_function[sb.function]
+
+    def test_superblocks_never_overlap(self):
+        binary, cfg, fp, cfl = _ctx(mode=RewriteMode.DIR)
+        placement = place_trampolines(cfg, cfl)
+        by_fn = {}
+        for sb in placement.superblocks:
+            by_fn.setdefault(sb.function, []).append(sb)
+        for sbs in by_fn.values():
+            sbs.sort(key=lambda s: s.cfl_start)
+            for a, b in zip(sbs, sbs[1:]):
+                assert a.end <= b.cfl_start
+
+    def test_scratch_ranges_are_non_cfl_blocks(self):
+        binary, cfg, fp, cfl = _ctx(mode=RewriteMode.JT)
+        placement = place_trampolines(cfg, cfl)
+        for start, end in placement.scratch_ranges:
+            fcfg, block = cfg.block_containing(start)
+            assert block is not None
+            assert block.start not in placement.cfl_by_function[
+                fcfg.name
+            ]
+
+    def test_padding_ranges_are_verified_nops(self, arch):
+        program, binary = workload("602.sgcc_s", arch)
+        cfg = build_cfg(binary)
+        spec = get_arch(arch)
+        ranges = padding_ranges(binary, cfg, spec)
+        assert ranges
+        for start, end in ranges:
+            insns = spec.decode_range(
+                bytes(binary.read(start, end - start)), 0, end - start,
+                start,
+            )
+            assert all(i.mnemonic == "nop" for i in insns)
+
+    def test_failed_function_bodies_never_pooled(self):
+        """Regression: a failed function's undecoded body must not be
+        mistaken for inter-function padding."""
+        program, binary = workload("602.sgcc_s", "ppc64")
+        cfg = build_cfg(binary)
+        spec = get_arch("ppc64")
+        failed = cfg.failed_functions()
+        assert failed
+        ranges = padding_ranges(binary, cfg, spec)
+        for fcfg in failed:
+            end = fcfg.range_end or fcfg.high
+            for lo, hi in ranges:
+                assert hi <= fcfg.entry or lo >= end
+
+
+class TestScratchPool:
+    def test_take_carves(self):
+        pool = ScratchPool([(0x100, 0x120)])
+        slot = pool.take(8)
+        assert slot == 0x100
+        assert pool.total_free() == 0x18
+
+    def test_take_respects_window(self):
+        pool = ScratchPool([(0x100, 0x120), (0x500, 0x540)])
+        slot = pool.take(8, lo=0x400, hi=0x600)
+        assert slot == 0x500
+
+    def test_take_exhausted(self):
+        pool = ScratchPool([(0x100, 0x104)])
+        assert pool.take(8) is None
+
+    def test_add_merge_free(self):
+        pool = ScratchPool([])
+        pool.add(0x10, 0x20)
+        assert pool.take(0x10) == 0x10
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 64)),
+                    max_size=10),
+           st.integers(1, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_property_take_returns_free_space(self, spans, size):
+        ranges = [(s, s + length) for s, length in spans]
+        pool = ScratchPool(ranges)
+        total = pool.total_free()
+        slot = pool.take(size)
+        if slot is not None:
+            assert any(s <= slot and slot + size <= e
+                       for s, e in ranges)
+            assert pool.total_free() == total - size
+
+
+class TestTrampolineInstaller:
+    def _binary(self, arch):
+        binary = Binary("t", arch, "EXEC")
+        binary.add_section(make_alloc_section(
+            ".text", 0x10000, b"\x3d" * 0x200, exec_=True
+        ))
+        binary.metadata["toc_base"] = 0x20000
+        return binary
+
+    def test_x86_long_when_space(self):
+        binary = self._binary("x86")
+        inst = TrampolineInstaller(binary, get_arch("x86"),
+                                   ScratchPool([]))
+        record = inst.install("f", 0x10000, 8, 0x11000, [15])
+        assert record.kind == "long"
+        assert inst.stats.long == 1
+
+    def test_x86_hop_when_small(self):
+        binary = self._binary("x86")
+        pool = ScratchPool([(0x10010, 0x10020)])
+        inst = TrampolineInstaller(binary, get_arch("x86"), pool)
+        record = inst.install("f", 0x10000, 2, 0x11000, [15])
+        assert record.kind == "hop"
+        assert record.hop_slot is not None
+
+    def test_x86_trap_when_tiny_and_no_pool(self):
+        binary = self._binary("x86")
+        inst = TrampolineInstaller(binary, get_arch("x86"),
+                                   ScratchPool([]))
+        record = inst.install("f", 0x10000, 1, 0x11000, [15])
+        assert record.kind == "trap"
+        assert inst.trap_map[0x10000] == 0x11000
+
+    def test_fixed_direct_when_in_range(self, ):
+        binary = self._binary("ppc64")
+        inst = TrampolineInstaller(binary, get_arch("ppc64"),
+                                   ScratchPool([]), toc_base=0x20000)
+        record = inst.install("f", 0x10000, 4, 0x10100, [15])
+        assert record.kind == "direct"
+
+    def test_ppc_long_out_of_range(self):
+        binary = self._binary("ppc64")
+        inst = TrampolineInstaller(binary, get_arch("ppc64"),
+                                   ScratchPool([]), toc_base=0x20000)
+        record = inst.install("f", 0x10000, 16, 0x10000 + (1 << 20), [15])
+        assert record.kind == "long"
+
+    def test_ppc_save_restore_when_no_dead_register(self):
+        binary = self._binary("ppc64")
+        inst = TrampolineInstaller(binary, get_arch("ppc64"),
+                                   ScratchPool([]), toc_base=0x20000)
+        record = inst.install("f", 0x10000, 24, 0x10000 + (1 << 20), [])
+        assert record.kind == "save_restore"
+        assert inst.stats.save_restore == 1
+
+    def test_aarch64_trap_when_no_dead_register(self):
+        binary = self._binary("aarch64")
+        inst = TrampolineInstaller(binary, get_arch("aarch64"),
+                                   ScratchPool([]))
+        record = inst.install("f", 0x10000, 12, 0x10000 + (1 << 20), [])
+        assert record.kind == "trap"
+
+    def test_fixed_hop_when_block_too_small(self):
+        binary = self._binary("ppc64")
+        pool = ScratchPool([(0x10100, 0x10140)])
+        inst = TrampolineInstaller(binary, get_arch("ppc64"), pool,
+                                   toc_base=0x20000)
+        record = inst.install("f", 0x10000, 4, 0x10000 + (1 << 20), [15])
+        assert record.kind == "hop"
+
+    def test_leftover_pooling_toggle(self):
+        binary = self._binary("x86")
+        pool = ScratchPool([])
+        inst = TrampolineInstaller(binary, get_arch("x86"), pool,
+                                   pool_leftovers=False)
+        inst.install("f", 0x10000, 64, 0x11000, [15])
+        assert pool.total_free() == 0
+        pool2 = ScratchPool([])
+        inst2 = TrampolineInstaller(binary, get_arch("x86"), pool2)
+        inst2.install("f", 0x10080, 64, 0x11000, [15])
+        assert pool2.total_free() == 64 - 5
+
+    def test_written_ranges_recorded(self):
+        binary = self._binary("x86")
+        inst = TrampolineInstaller(binary, get_arch("x86"),
+                                   ScratchPool([]))
+        inst.install("f", 0x10000, 8, 0x11000, [15])
+        assert (0x10000, 0x10005) in inst.written_ranges
+
+
+class TestCatalog:
+    def test_table2_rows(self):
+        for arch in ("x86", "ppc64", "aarch64"):
+            rows = catalog(get_arch(arch))
+            assert len(rows) == 2
+            short, long_ = rows
+            assert short[1] < long_[1]     # ranges ordered
+            assert short[2] <= long_[2]    # lengths ordered
+
+    def test_x86_lengths_match_paper(self):
+        rows = dict((d, (r, l)) for d, r, l in catalog(get_arch("x86")))
+        assert rows["2-byte branch"][1] == 2
+        assert rows["5-byte branch"][1] == 5
+
+
+class TestLayout:
+    def test_dynamic_sections_moved_and_renamed(self):
+        program, binary = workload("605.mcf_s", "x86")
+        out, dead, extra = prepare_output(binary)
+        for name in DYNAMIC_SECTIONS:
+            old = out.get_section(name + "_old")
+            new = out.get_section(name)
+            assert old is not None and new is not None
+            assert new.addr > old.addr
+            assert new.size > old.size
+
+    def test_dead_ranges_cover_old_sections(self):
+        program, binary = workload("605.mcf_s", "x86")
+        out, dead, extra = prepare_output(binary)
+        assert len(dead) == len(DYNAMIC_SECTIONS)
+        for start, end in dead:
+            sec = out.section_containing(start)
+            assert sec.name.endswith("_old")
+
+    def test_extra_sections_created(self):
+        program, binary = workload("605.mcf_s", "x86")
+        out, dead, extra = prepare_output(
+            binary, [(".icounters", 128, True)]
+        )
+        sec = out.section(".icounters")
+        assert sec.size == 128
+        assert sec.is_writable
+        assert extra[".icounters"] == sec.addr
+
+    def test_layout_report_mentions_roles(self):
+        from repro.core import rewrite_binary
+        program, binary = workload("605.mcf_s", "x86")
+        rewritten, _, _ = rewrite_binary(binary, RewriteMode.JT)
+        report = section_layout_report(rewritten)
+        assert ".instr" in report
+        assert "trampoline scratch space" in report
+        assert "NOT modified" in report

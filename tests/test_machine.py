@@ -1,0 +1,307 @@
+"""Emulator: per-instruction semantics, conventions, faults, costs."""
+
+import pytest
+
+from repro.binfmt import Binary, make_alloc_section
+from repro.isa import Instruction as I, Mem, get_arch
+from repro.isa.registers import LR, R0, R1, R2, R3, SP, TOC
+from repro.machine import CostModel, Machine, machine_for, run_binary
+from repro.util.errors import (
+    IllegalInstructionFault,
+    MachineFault,
+    UnmappedMemoryFault,
+)
+
+BASE = 0x10000
+
+
+def assemble(arch, insns, data_sections=(), entry=None, kind="EXEC",
+             metadata=None):
+    """Hand-assemble a binary from (possibly label-free) instructions."""
+    spec = get_arch(arch)
+    addr = BASE
+    placed = []
+    for insn in insns:
+        insn = insn.at(addr)
+        placed.append(insn)
+        addr += spec.insn_length(insn)
+    binary = Binary("t", arch, kind, entry=entry or BASE)
+    binary.add_section(make_alloc_section(
+        ".text", BASE, spec.encode_stream(placed), exec_=True
+    ))
+    for name, at, payload, writable in data_sections:
+        binary.add_section(make_alloc_section(name, at, payload,
+                                              writable=writable))
+    if metadata:
+        binary.metadata.update(metadata)
+    return binary
+
+
+def run(arch, insns, **kw):
+    return run_binary(assemble(arch, insns, **kw))
+
+
+def exit_with(reg=R0):
+    return [I("syscall", 0)]
+
+
+class TestArithmetic:
+    def test_add_wraps_64bit(self):
+        res = run("x86", [
+            I("movi", R0, -1),
+            I("movi", R1, 2),
+            I("add", R0, R0, R1),
+            I("syscall", 1),
+            I("syscall", 0),
+        ])
+        assert res.output == [1]
+
+    def test_mul_and_masks(self):
+        res = run("x86", [
+            I("movi", R0, 123456789),
+            I("movi", R1, 987654321),
+            I("mul", R0, R0, R1),
+            I("movi", R1, 0xFFFF),
+            I("and", R0, R0, R1),
+            I("syscall", 1),
+            I("syscall", 0),
+        ])
+        assert res.output == [(123456789 * 987654321) & 0xFFFF]
+
+    def test_shifts(self):
+        res = run("x86", [
+            I("movi", R0, 1),
+            I("shli", R0, R0, 40),
+            I("shri", R0, R0, 8),
+            I("syscall", 1),
+            I("syscall", 0),
+        ])
+        assert res.output == [1 << 32]
+
+    def test_signed_compare_branches(self):
+        # -1 < 1 signed (but not unsigned): blt must be signed.
+        spec = get_arch("x86")
+        insns = [
+            I("movi", R0, -1),
+            I("movi", R1, 1),
+        ]
+        blt_len = spec.insn_length("blt")
+        movi_len = spec.insn_length("movi")
+        insns.append(I("blt", R0, R1, blt_len + movi_len))
+        insns.append(I("movi", R0, 99))   # skipped when branch taken
+        insns.append(I("syscall", 1))
+        insns.append(I("syscall", 0))
+        res = run_binary(assemble("x86", insns))
+        assert res.output == [-1]
+
+    def test_inc(self):
+        res = run("x86", [I("movi", R0, 7), I("inc", R0),
+                          I("syscall", 1), I("syscall", 0)])
+        assert res.output == [8]
+
+    def test_lis_addis_build_constants(self):
+        res = run("ppc64", [
+            I("lis", R0, 2),              # 0x20000
+            I("addi", R0, R0, -1),
+            I("syscall", 1),
+            I("syscall", 0),
+        ])
+        assert res.output == [0x1FFFF]
+
+
+class TestMemory:
+    def test_load_store_sizes(self):
+        data = ("mem", 0x20000, b"\0" * 64, True)
+        res = run("x86", [
+            I("movi", R1, 0x20000),
+            I("movi", R0, -2),
+            I("st16", R0, Mem(R1, 0)),
+            I("ld16", R2, Mem(R1, 0)),      # zero-extended
+            I("mov", R0, R2),
+            I("syscall", 1),
+            I("lds16", R2, Mem(R1, 0)),     # sign-extended
+            I("mov", R0, R2),
+            I("syscall", 1),
+            I("syscall", 0),
+        ], data_sections=[data])
+        assert res.output == [0xFFFE, -2]
+
+    def test_pc_relative_load(self):
+        # ldpc reads relative to the instruction's own address.
+        spec = get_arch("x86")
+        insns = [
+            I("ldpc64", R0, 0),   # patched target: the data below
+            I("syscall", 1),
+            I("syscall", 0),
+        ]
+        tail = (spec.insn_length("ldpc64") + spec.insn_length("syscall") * 2)
+        insns[0] = I("ldpc64", R0, tail)
+        binary = assemble("x86", insns)
+        binary.section(".text").data.extend((1234).to_bytes(8, "little"))
+        res = run_binary(binary)
+        assert res.output == [1234]
+
+    def test_push_pop(self):
+        res = run("x86", [
+            I("movi", R0, 42),
+            I("push", R0),
+            I("movi", R0, 0),
+            I("pop", R1),
+            I("mov", R0, R1),
+            I("syscall", 1),
+            I("syscall", 0),
+        ])
+        assert res.output == [42]
+
+    def test_unmapped_load_faults(self):
+        with pytest.raises(UnmappedMemoryFault):
+            run("x86", [I("movi", R1, 1 << 40),
+                        I("ld64", R0, Mem(R1, 0)),
+                        I("syscall", 0)])
+
+
+class TestCallConventions:
+    def test_x86_call_pushes_return_address(self):
+        spec = get_arch("x86")
+        # call target; target: syscall 1 with popped RA; exit
+        call = I("call", 0)
+        lens = [spec.insn_length(i) for i in (call, I("jmp", 0))]
+        insns = [
+            I("call", lens[0] + lens[1]),     # over the jmp
+            I("jmp", 0),                      # never reached (callee exits)
+            I("pop", R0),                     # RA == addr after call
+            I("syscall", 1),
+            I("syscall", 0),
+        ]
+        res = run_binary(assemble("x86", insns))
+        assert res.output == [BASE + lens[0]]
+
+    def test_fixed_call_sets_lr(self):
+        res = run("ppc64", [
+            I("call", 8),
+            I("syscall", 0),       # return lands here, exits with R0
+            I("mov", R0, LR),
+            I("syscall", 1),
+            I("ret"),              # blr
+        ])
+        assert res.output == [BASE + 4]
+        assert res.exit_code == BASE + 4
+
+    def test_x86_ret_pops(self):
+        spec = get_arch("x86")
+        movi_len = spec.insn_length("movi")
+        push_len = spec.insn_length("push")
+        insns = [
+            I("movi", R0, BASE + movi_len + push_len + 1),
+            I("push", R0),
+            I("ret"),                        # jumps to the pushed addr
+            I("movi", R0, 7),
+            I("syscall", 1),
+            I("syscall", 0),
+        ]
+        res = run_binary(assemble("x86", insns))
+        assert res.output == [7]
+
+    def test_toc_register_initialized(self):
+        binary = assemble("ppc64", [
+            I("mov", R0, TOC),
+            I("syscall", 1),
+            I("syscall", 0),
+        ], metadata={"toc_base": 0x12340})
+        res = run_binary(binary)
+        assert res.output == [0x12340]
+
+
+class TestAdrp:
+    def test_adrp_is_page_relative(self):
+        res = run("aarch64", [
+            I("adrp", R0, 1),
+            I("syscall", 1),
+            I("syscall", 0),
+        ])
+        assert res.output == [(BASE & ~0xFFF) + 0x1000]
+
+
+class TestFaultsAndLimits:
+    def test_illegal_instruction(self):
+        binary = assemble("x86", [I("nop")])
+        binary.section(".text").data[0] = 0xFF
+        with pytest.raises(IllegalInstructionFault):
+            run_binary(binary)
+
+    def test_step_limit(self):
+        binary = assemble("x86", [I("jmp", 0)])   # jmp-to-self
+        with pytest.raises(MachineFault, match="step limit"):
+            run_binary(binary, step_limit=1000)
+
+    def test_unhandled_trap(self):
+        with pytest.raises(MachineFault, match="unhandled trap"):
+            run("x86", [I("trap")])
+
+    def test_bad_syscall(self):
+        with pytest.raises(MachineFault, match="bad syscall"):
+            run("x86", [I("syscall", 99)])
+
+
+class TestCostsAndCounters:
+    def test_taken_branch_cost(self):
+        costs = CostModel()
+        insns = [I("movi", R0, 0), I("syscall", 0)]
+        base = run_binary(assemble("x86", insns)).cycles
+        spec = get_arch("x86")
+        jlen = spec.insn_length("jmp")
+        insns2 = [I("movi", R0, 0), I("jmp", jlen), I("syscall", 0)]
+        jumped = run_binary(assemble("x86", insns2)).cycles
+        assert jumped == base + costs.insn + costs.taken_branch
+
+    def test_icache_model_counts_misses(self):
+        binary = assemble("x86", [I("movi", R0, 0), I("syscall", 0)])
+        machine = machine_for(binary, costs=CostModel.with_icache())
+        image = machine.load(binary)
+        result = machine.run(image)
+        assert result.icache_misses >= 1
+
+    def test_bounce_watching(self):
+        spec = get_arch("x86")
+        jlen = spec.insn_length("jmp")
+        # region A: first jmp; region B: the rest.
+        insns = [I("jmp", jlen), I("movi", R0, 0), I("syscall", 0)]
+        binary = assemble("x86", insns)
+        machine = machine_for(binary)
+        image = machine.load(binary)
+        machine.watch_bounce((BASE, BASE + jlen), (BASE + jlen, BASE + 64))
+        result = machine.run(image)
+        assert result.transitions == 1
+
+
+class TestPie:
+    def test_pie_loads_with_bias_and_relocations(self):
+        spec = get_arch("x86")
+        from repro.binfmt import Relocation, R_RELATIVE
+        # Data slot holds &target (link-time); loader rebases it.
+        insns = [
+            I("movi", R1, 0),        # replaced: ldpc64 below
+            I("syscall", 0),
+        ]
+        binary = assemble("x86", [
+            I("ldpc64", R0, 0),      # patched
+            I("syscall", 1),
+            I("syscall", 0),
+        ], data_sections=[(".data", 0x20000, b"\0" * 8, True)],
+            kind="PIE")
+        slot = 0x20000
+        binary.relocations.append(Relocation(slot, R_RELATIVE, 0x1234))
+        # patch the ldpc64 displacement to reach slot from BASE
+        text = binary.section(".text")
+        text.data[:spec.insn_length("ldpc64")] = spec.encode(
+            I("ldpc64", R0, slot - BASE, addr=BASE)
+        )
+        res = run_binary(binary)
+        from repro.machine.loader import DEFAULT_PIE_BIAS
+        assert res.output == [0x1234 + DEFAULT_PIE_BIAS]
+
+    def test_position_dependent_refuses_bias(self):
+        binary = assemble("x86", [I("syscall", 0)])
+        machine = machine_for(binary)
+        with pytest.raises(Exception):
+            machine.load(binary, bias=0x1000)

@@ -1,0 +1,148 @@
+"""Property-based end-to-end tests.
+
+The heavyweight invariant of the whole system: for *randomly generated*
+IR programs, the IR interpretation, the compiled binary, and the
+rewritten (strong-test) binary all behave identically — on every
+architecture and in every mode.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import RewriteMode, rewrite_binary
+from repro.machine import run_binary
+from repro.toolchain import compile_program, interpret, ir
+from repro.util.errors import ReproError, RewriteError
+
+# ---------------------------------------------------------------------------
+# random IR program generation
+# ---------------------------------------------------------------------------
+
+_SMALL = st.integers(-1000, 1000)
+_VARS = ("a", "b", "c", "d")
+_OPS = ("+", "-", "*", "&", "|", "^")
+
+
+def _expr(draw):
+    if draw(st.booleans()):
+        return draw(st.sampled_from(_VARS))
+    return draw(_SMALL)
+
+
+@st.composite
+def _stmts(draw, depth, allow_calls):
+    count = draw(st.integers(1, 4))
+    out = []
+    for _ in range(count):
+        kind = draw(st.integers(0, 6 if depth > 0 else 3))
+        if kind == 0:
+            out.append(ir.SetConst(draw(st.sampled_from(_VARS)),
+                                   draw(_SMALL)))
+        elif kind == 1:
+            out.append(ir.BinOp(draw(st.sampled_from(_VARS)),
+                                draw(st.sampled_from(_OPS)),
+                                _expr(draw), _expr(draw)))
+        elif kind == 2 and allow_calls:
+            out.append(ir.Call(draw(st.sampled_from(_VARS)), "callee",
+                               [_expr(draw)]))
+        elif kind == 3 and allow_calls:
+            out.append(ir.CallPtr(draw(st.sampled_from(_VARS)),
+                                  "fptab",
+                                  draw(st.integers(0, 1)),
+                                  args=[_expr(draw)]))
+        elif kind == 4:
+            out.append(ir.If(_expr(draw),
+                             draw(st.sampled_from(
+                                 ("==", "!=", "<", ">=", ))),
+                             _expr(draw),
+                             draw(_stmts(depth - 1, allow_calls)),
+                             draw(_stmts(depth - 1, allow_calls))
+                             if draw(st.booleans()) else []))
+        elif kind == 5:
+            ncases = draw(st.integers(4, 6))
+            out.append(ir.Switch(
+                draw(st.sampled_from(_VARS)),
+                [draw(_stmts(depth - 1, allow_calls))
+                 for _ in range(ncases)],
+                default=draw(_stmts(depth - 1, allow_calls)),
+            ))
+        else:
+            out.append(ir.Loop(
+                "i", draw(st.integers(1, 5)),
+                draw(_stmts(depth - 1, allow_calls)),
+            ))
+    return out
+
+
+@st.composite
+def programs(draw):
+    body = [ir.SetConst(v, i + 1) for i, v in enumerate(_VARS)]
+    # clamp switch selectors: mask every var occasionally
+    body += draw(_stmts(2, True))
+    body += [ir.Print(v) for v in _VARS]
+    body.append(ir.Return("a"))
+    callee_body = [ir.BinOp("r", "&", "x", 0xFF)]
+    callee_body += [ir.SetConst(v, i + 5) for i, v in enumerate(_VARS)]
+    callee_body += draw(_stmts(1, False))
+    callee_body.append(ir.Return("r"))
+    return ir.Program(
+        name="prop",
+        globals=[ir.GlobalVar("fptab", ["&callee", "&other"])],
+        functions=[
+            ir.Function("callee", params=["x"], body=callee_body),
+            ir.Function("other", params=["x"],
+                        body=[ir.BinOp("r", "+", "x", 13),
+                              ir.Return("r")]),
+            ir.Function("main", body=body),
+        ],
+    )
+
+
+# Loop variable "i" may collide with _VARS usage inside bodies: it cannot
+# (different names), and nested loops reuse "i" — same semantics in the
+# interpreter and in compiled code.
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc64", "aarch64"])
+@given(program=programs())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_property_compile_matches_interp(arch, program):
+    try:
+        oracle = interpret(program, step_limit=400_000)
+    except Exception:
+        return  # malformed draw (e.g. step budget); not interesting
+    try:
+        binary = compile_program(program, arch)
+    except ReproError:
+        return  # legitimate refusal (e.g. code-size budget)
+    result = run_binary(binary, step_limit=4_000_000)
+    assert (result.exit_code, result.output) == oracle
+
+
+@pytest.mark.parametrize("arch", ["x86", "ppc64", "aarch64"])
+@given(program=programs(),
+       mode=st.sampled_from([RewriteMode.DIR, RewriteMode.JT,
+                             RewriteMode.FUNC_PTR]))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_property_rewrite_preserves_behaviour(arch, program, mode):
+    try:
+        oracle = interpret(program, step_limit=400_000)
+    except Exception:
+        return
+    try:
+        binary = compile_program(program, arch)
+    except ReproError:
+        return  # legitimate refusal (e.g. code-size budget)
+    try:
+        rewritten, report, runtime = rewrite_binary(
+            binary, mode, scorch_original=True
+        )
+    except RewriteError:
+        return  # legitimate refusal
+    result = run_binary(rewritten, runtime_lib=runtime,
+                        step_limit=8_000_000)
+    assert (result.exit_code, result.output) == oracle

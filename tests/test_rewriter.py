@@ -1,0 +1,268 @@
+"""The incremental CFG patching rewriter, end to end.
+
+The strong rewrite test from Section 8 is applied throughout:
+``scorch_original=True`` fills the original bytes of every relocated
+function with illegal instructions, so any control flow the rewriter
+failed to intercept faults instead of silently running stale code.
+"""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.core import (
+    CountingInstrumentation,
+    IncrementalRewriter,
+    RewriteMode,
+    RuntimeLibrary,
+    rewrite_binary,
+)
+from repro.isa import ILLEGAL_BYTE, get_arch
+from repro.machine import machine_for, run_binary
+from repro.toolchain import interpret
+from repro.toolchain.workloads import docker_like, firefox_like
+from repro.util.errors import RewriteError
+from tests.conftest import ARCHES, oracle_of, workload
+
+MODES = [RewriteMode.DIR, RewriteMode.JT, RewriteMode.FUNC_PTR]
+
+
+def _rewrite_and_run(program, binary, mode, **kw):
+    rewritten, report, runtime = rewrite_binary(
+        binary, mode, scorch_original=True, **kw
+    )
+    result = run_binary(rewritten, runtime_lib=runtime)
+    assert (result.exit_code, result.output) == oracle_of(program)
+    return rewritten, report, result
+
+
+class TestModesAcrossArches:
+    @pytest.mark.parametrize("mode", MODES, ids=str)
+    @pytest.mark.parametrize("name", ["602.sgcc_s", "620.omnetpp_s"])
+    def test_strong_rewrite_correct(self, arch, mode, name):
+        program, binary = workload(name, arch)
+        _rewrite_and_run(program, binary, mode)
+
+    @pytest.mark.parametrize("mode", MODES, ids=str)
+    def test_pie_binaries(self, arch, mode):
+        program, binary = workload("605.mcf_s", arch, pie=True)
+        _rewrite_and_run(program, binary, mode)
+
+    def test_overhead_ordering(self, arch):
+        """The paper's core result: dir >= jt >= func-ptr overhead."""
+        program, binary = workload("602.sgcc_s", arch)
+        base = run_binary(binary).cycles
+        cycles = {}
+        for mode in MODES:
+            _, _, result = _rewrite_and_run(program, binary, mode)
+            cycles[mode] = result.cycles
+        assert cycles[RewriteMode.DIR] >= cycles[RewriteMode.JT]
+        assert cycles[RewriteMode.JT] >= cycles[RewriteMode.FUNC_PTR]
+        # func-ptr is near zero overhead
+        assert cycles[RewriteMode.FUNC_PTR] / base - 1 < 0.02
+
+
+class TestScorching:
+    def test_original_bytes_are_scorched(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        rewritten, report, runtime = rewrite_binary(
+            binary, RewriteMode.JT, scorch_original=True
+        )
+        cfg = build_cfg(binary)
+        main = cfg.by_name["main"]
+        body = bytes(rewritten.read(main.entry,
+                                    (main.range_end or main.high)
+                                    - main.entry))
+        assert body.count(ILLEGAL_BYTE) > len(body) // 2
+
+    def test_trampolines_survive_scorching(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        rewritten, report, runtime = rewrite_binary(
+            binary, RewriteMode.JT, scorch_original=True
+        )
+        spec = get_arch(arch)
+        entry = rewritten.entry
+        insn = spec.decode(rewritten.read(entry, 16), 0, addr=entry)
+        assert insn.mnemonic in ("jmp", "jmp.s", "trap", "addis", "adrp")
+
+    def test_unscorched_rewrite_also_correct(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        rewritten, report, runtime = rewrite_binary(binary,
+                                                    RewriteMode.JT)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+
+class TestReports:
+    def test_report_fields(self, arch):
+        program, binary = workload("602.sgcc_s", arch)
+        _, report, _ = rewrite_binary(binary, RewriteMode.JT)
+        assert report.mode == "jt"
+        assert report.arch == get_arch(arch).name
+        assert 0 < report.relocated_functions <= report.total_functions
+        assert 0 < report.coverage <= 1
+        assert report.size_increase > 0
+        assert report.ra_entries > 0
+        assert sum(report.trampolines.values()) == report.superblocks
+
+    def test_ppc_coverage_below_one(self):
+        program, binary = workload("602.sgcc_s", "ppc64")
+        _, report, _ = rewrite_binary(binary, RewriteMode.JT)
+        assert report.coverage < 1.0
+        assert report.failed_functions
+
+    def test_jt_mode_clones_tables(self, arch):
+        program, binary = workload("602.sgcc_s", arch)
+        _, report_dir, _ = rewrite_binary(binary, RewriteMode.DIR)
+        _, report_jt, _ = rewrite_binary(binary, RewriteMode.JT)
+        assert report_dir.clones == 0
+        assert report_jt.clones > 0
+
+    def test_jt_mode_fewer_trampolines_than_dir(self, arch):
+        program, binary = workload("602.sgcc_s", arch)
+        _, rd, _ = rewrite_binary(binary, RewriteMode.DIR)
+        _, rj, _ = rewrite_binary(binary, RewriteMode.JT)
+        assert sum(rj.trampolines.values()) < sum(rd.trampolines.values())
+
+    def test_funcptr_mode_redirects_slots(self, arch):
+        program, binary = workload("605.mcf_s", arch)
+        _, report, _ = rewrite_binary(binary, RewriteMode.FUNC_PTR)
+        assert report.redirected_slots > 0
+
+
+class TestJumpTableCloning:
+    def test_original_table_untouched(self, arch):
+        """Cloning, not in-place patching, is what tolerates
+        over-approximation (Section 5.1, Failure 3)."""
+        program, binary = workload("602.sgcc_s", arch)
+        rewritten, _, _ = rewrite_binary(binary, RewriteMode.JT)
+        for t in binary.metadata["jump_tables"]:
+            if t["resist"]:
+                continue
+            size = t["entries"] * t["entry_size"]
+            assert (rewritten.read(t["table_addr"], size)
+                    == binary.read(t["table_addr"], size))
+
+
+class TestGoBinaries:
+    def test_funcptr_mode_refuses_go(self):
+        program, binary = docker_like()
+        with pytest.raises(RewriteError, match="precise"):
+            rewrite_binary(binary, RewriteMode.FUNC_PTR)
+
+    def test_dir_equals_jt_for_go(self):
+        program, binary = docker_like()
+        _, _, r_dir = _rewrite_and_run(program, binary, RewriteMode.DIR)
+        _, _, r_jt = _rewrite_and_run(program, binary, RewriteMode.JT)
+        assert r_dir.cycles == r_jt.cycles   # no jump tables to clone
+
+    def test_entry_plus_one_lands_correctly(self):
+        """The paper's Listing 1: the pointer arithmetic flow must not
+        land in the middle of a trampoline or instrumentation."""
+        program, binary = docker_like()
+        _rewrite_and_run(program, binary, RewriteMode.JT)
+
+
+class TestCountingInstrumentation:
+    def _block_counts_oracle(self, binary, cfg):
+        """Ground truth by tracing the original binary."""
+        machine = machine_for(binary)
+        image = machine.load(binary)
+        counters = {}
+        for fcfg in cfg.ok_functions():
+            if fcfg.is_runtime_support:
+                continue
+            for start in fcfg.blocks:
+                counters[(fcfg.name, start)] = 0
+        trace = {}
+        cpu = machine.cpu
+        orig_run = cpu.run
+
+        starts = {s for (_f, s) in counters}
+        hits = {s: 0 for s in starts}
+
+        # lightweight tracing loop
+        import repro.machine.cpu as cpumod
+        compiled = cpu._compiled
+        cpu.pc = image.to_loaded(binary.entry)
+        cpu.regs[16] = machine.memory.stack_top - 8
+        machine.memory.write_int(cpu.regs[16], 0, 8)
+        cpu.running = True
+        while cpu.running:
+            pc = cpu.pc
+            if pc in hits:
+                hits[pc] += 1
+            fn = compiled.get(pc)
+            if fn is None:
+                fn = cpu._compile(pc)
+                compiled[pc] = fn
+            fn()
+        return hits
+
+    def test_counters_match_trace(self):
+        program, binary = workload("605.mcf_s", "x86")
+        cfg = build_cfg(binary)
+        expected = self._block_counts_oracle(binary, cfg)
+
+        counting = CountingInstrumentation()
+        rewriter = IncrementalRewriter(mode=RewriteMode.FUNC_PTR,
+                                       instrumentation=counting,
+                                       scorch_original=True)
+        rewritten, report = rewriter.rewrite(binary)
+        runtime = rewriter.runtime_library(rewritten)
+        machine = machine_for(rewritten)
+        image = machine.load(rewritten)
+        machine.install_runtime(runtime, image)
+        result = machine.run(image)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+        checked = 0
+        for (fn_name, start), slot in counting.slot_of.items():
+            addr = counting.counter_addr(fn_name, start) + image.bias
+            measured = machine.memory.read_int(addr, 8)
+            assert measured == expected[start], (fn_name, hex(start))
+            checked += 1
+        assert checked > 20
+
+    def test_partial_instrumentation(self):
+        program, binary = workload("605.mcf_s", "x86")
+        cfg = build_cfg(binary)
+        subset = frozenset({"main", "leaf0"})
+        counting = CountingInstrumentation(function_filter=subset)
+        rewriter = IncrementalRewriter(mode=RewriteMode.JT,
+                                       instrumentation=counting,
+                                       scorch_original=True)
+        rewritten, report = rewriter.rewrite(binary)
+        assert report.relocated_functions == len(subset)
+        runtime = rewriter.runtime_library(rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+
+class TestReordering:
+    @pytest.mark.parametrize("fo,bo", [
+        ("reverse", "address"), ("address", "reverse"),
+        ("reverse", "reverse"),
+    ])
+    def test_reordered_layouts_run_correctly(self, arch, fo, bo):
+        program, binary = workload("605.mcf_s", arch)
+        rewriter = IncrementalRewriter(
+            mode=RewriteMode.JT, scorch_original=True,
+            function_order=fo, block_order=bo,
+        )
+        rewritten, report = rewriter.rewrite(binary)
+        runtime = rewriter.runtime_library(rewritten)
+        result = run_binary(rewritten, runtime_lib=runtime)
+        assert (result.exit_code, result.output) == oracle_of(program)
+
+
+class TestLargeBinaries:
+    def test_firefox_like(self):
+        program, binary = firefox_like()
+        code, out = interpret(program)
+        for mode in (RewriteMode.JT, RewriteMode.FUNC_PTR):
+            rewritten, report, runtime = rewrite_binary(
+                binary, mode, scorch_original=True
+            )
+            result = run_binary(rewritten, runtime_lib=runtime)
+            assert (result.exit_code, result.output) == (code, out)
+            assert report.coverage > 0.95

@@ -1,0 +1,143 @@
+"""Symbolic evaluation and instruction use/def semantics."""
+
+import pytest
+
+from repro.analysis.semantics import (
+    CALL_CLOBBERS,
+    EXIT_LIVE,
+    uses_defs,
+)
+from repro.analysis.symeval import Bin, BlockEval, Const, Input, Load
+from repro.binfmt import Binary, make_alloc_section
+from repro.isa import Instruction as I, Mem, get_arch
+from repro.isa.registers import LR, R0, SP, TOC
+
+
+def _binary(arch="x86", toc_base=None):
+    binary = Binary("t", arch, "EXEC")
+    binary.add_section(make_alloc_section(".text", 0x1000, b"\x3d" * 64,
+                                          exec_=True))
+    binary.add_section(make_alloc_section(".rodata", 0x2000,
+                                          bytes(range(64))))
+    binary.add_section(make_alloc_section(".data", 0x3000, b"\0" * 64,
+                                          writable=True))
+    if toc_base is not None:
+        binary.metadata["toc_base"] = toc_base
+    return binary
+
+
+def _eval(arch, insns, toc_base=None):
+    spec = get_arch(arch)
+    ev = BlockEval(_binary(arch, toc_base), spec)
+    addr = 0x1000
+    for insn in insns:
+        placed = insn.at(addr)
+        placed.length = spec.insn_length(insn)
+        ev.step(placed)
+        addr += placed.length
+    return ev
+
+
+class TestSymEval:
+    def test_constants_fold(self):
+        ev = _eval("x86", [I("movi", 3, 100), I("addi", 4, 3, 5)])
+        assert ev.reg(4) == Const(105)
+
+    def test_movi_provenance(self):
+        ev = _eval("x86", [I("movi", 3, 0x2000)])
+        assert ev.reg(3).prov[0] == "movi"
+
+    def test_leapc_is_address(self):
+        ev = _eval("x86", [I("leapc", 3, 0x40)])
+        assert ev.reg(3).value == 0x1040
+        assert ev.reg(3).prov[0] == "leapc"
+
+    def test_toc_pair_provenance(self):
+        ev = _eval("ppc64", [I("addis", 3, TOC, 1),
+                             I("addi", 3, 3, -4)],
+                   toc_base=0x3000)
+        const = ev.reg(3)
+        assert const.value == 0x3000 + 0x10000 - 4
+        assert const.prov[0] == "toc_pair"
+
+    def test_page_pair_provenance(self):
+        ev = _eval("aarch64", [I("adrp", 3, 1), I("addi", 3, 3, 0x20)])
+        const = ev.reg(3)
+        assert const.value == 0x2020   # (0x1000 & ~0xFFF) + 0x1000 + 0x20
+        assert const.prov[0] == "page_pair"
+
+    def test_readonly_load_folds(self):
+        # .rodata[0x10] == 0x10 (bytes(range(64)))
+        ev = _eval("x86", [I("movi", 3, 0x2010),
+                           I("ld8", 4, Mem(3, 0))])
+        assert ev.reg(4) == Const(0x10)
+
+    def test_writable_load_stays_symbolic(self):
+        ev = _eval("x86", [I("movi", 3, 0x3010),
+                           I("ld64", 4, Mem(3, 0))])
+        assert isinstance(ev.reg(4), Load)
+
+    def test_stack_spill_tracking(self):
+        ev = _eval("x86", [I("movi", 3, 42),
+                           I("st64", 3, Mem(SP, 8)),
+                           I("movi", 3, 0),
+                           I("ld64", 4, Mem(SP, 8))])
+        assert isinstance(ev.reg(4), Const)
+        assert ev.reg(4).value == 42
+
+    def test_symbolic_addition_keeps_structure(self):
+        ev = _eval("x86", [I("shli", 4, 1, 2),
+                           I("movi", 3, 0x2000),
+                           I("add", 5, 3, 4)])
+        value = ev.reg(5)
+        assert isinstance(value, Bin) and value.op == "+"
+
+    def test_inputs_are_initial_registers(self):
+        ev = _eval("x86", [])
+        assert ev.reg(7) == Input(7)
+
+    def test_call_clobbers_state(self):
+        ev = _eval("x86", [I("movi", R0, 5), I("call", 0x20)])
+        assert not isinstance(ev.reg(R0), Const)
+
+    def test_inc_folds(self):
+        ev = _eval("x86", [I("movi", 3, 9), I("inc", 3)])
+        assert ev.reg(3) == Const(10)
+
+
+class TestUsesDefs:
+    @pytest.mark.parametrize("insn,uses,defs", [
+        (I("mov", 1, 2), {2}, {1}),
+        (I("add", 1, 2, 3), {2, 3}, {1}),
+        (I("ld64", 1, Mem(2, 8)), {2}, {1}),
+        (I("st64", 1, Mem(2, 8)), {1, 2}, set()),
+        (I("push", 5), {5, SP}, {SP}),
+        (I("pop", 5), {SP}, {5, SP}),
+        (I("jmpr", 7), {7}, set()),
+        (I("beq", 1, 2, 8), {1, 2}, set()),
+        (I("leapc", 3, 8), set(), {3}),
+        (I("syscall", 1), {R0}, {R0}),
+        (I("nop"), set(), set()),
+    ])
+    def test_simple_cases(self, insn, uses, defs):
+        assert uses_defs(insn) == (uses, defs)
+
+    def test_call_clobbers(self):
+        uses, defs = uses_defs(I("call", 4), call_pushes_ra=True)
+        assert {1, 2, 3} <= uses
+        assert R0 in defs and LR not in defs
+        uses, defs = uses_defs(I("call", 4), call_pushes_ra=False)
+        assert LR in defs
+
+    def test_ret_uses(self):
+        uses, _ = uses_defs(I("ret"), call_pushes_ra=False)
+        assert LR in uses and R0 in uses
+        uses, _ = uses_defs(I("ret"), call_pushes_ra=True)
+        assert LR not in uses
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            uses_defs(I("bogus", 1))
+
+    def test_exit_live_includes_result(self):
+        assert R0 in EXIT_LIVE and SP in EXIT_LIVE

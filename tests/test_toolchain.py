@@ -1,0 +1,317 @@
+"""Toolchain: assembler, code generator, interpreter, language profiles."""
+
+import pytest
+
+from repro.isa import get_arch
+from repro.isa.registers import R3, R4
+from repro.machine import run_binary
+from repro.toolchain import (
+    CodegenError,
+    compile_program,
+    interpret,
+    ir,
+    profile,
+)
+from repro.toolchain.asm import Label, Stream
+from repro.toolchain.interp import InterpError, Interpreter
+from repro.util.errors import ReproError
+from tests.conftest import ARCHES, assert_same_behaviour, compiled
+
+
+class TestAssembler:
+    def test_labels_and_branches(self, spec):
+        stream = Stream(".t")
+        loop = Label("loop")
+        stream.label(loop)
+        stream.emit("addi", R3, R3, -1)
+        stream.emit("bne", R3, R4, 0, target=loop)
+        size = stream.assign_addresses(spec, 0x1000)
+        data = stream.render(spec, 0x1000)
+        assert len(data) == size
+        insns = spec.decode_range(data, 0, size, 0x1000)
+        assert insns[-1].target == 0x1000
+
+    def test_unbound_label_raises(self, spec):
+        stream = Stream(".t")
+        stream.emit("jmp", 0, target=Label("nowhere"))
+        stream.assign_addresses(spec, 0x1000)
+        with pytest.raises(ReproError):
+            stream.render(spec, 0x1000)
+
+    def test_alignment_nop_fill(self, spec):
+        stream = Stream(".t")
+        stream.emit("nop")
+        stream.align(16)
+        stream.emit("ret")
+        size = stream.assign_addresses(spec, 0x1000)
+        data = stream.render(spec, 0x1000)
+        insns = spec.decode_range(data, 0, size, 0x1000)
+        assert insns[-1].mnemonic == "ret"
+        assert insns[-1].addr == 0x1010
+        assert all(i.mnemonic == "nop" for i in insns[:-1])
+
+    def test_alignment_zero_fill(self, spec):
+        stream = Stream(".t")
+        stream.raw(b"\x01")
+        stream.align(8, fill="zero")
+        stream.assign_addresses(spec, 0x1000)
+        data = stream.render(spec, 0x1000)
+        assert data == b"\x01" + b"\0" * 7
+
+    def test_jump_table_chunk(self, spec):
+        stream = Stream(".t")
+        base = Label("base")
+        t1, t2 = Label("t1"), Label("t2")
+        stream.label(base)
+        stream.table(base, [t1, t2], entry_size=4, signed=True)
+        stream.label(t1)
+        stream.emit("nop")
+        stream.label(t2)
+        stream.assign_addresses(spec, 0x100)
+        data = stream.render(spec, 0x100)
+        import struct
+        e1, e2 = struct.unpack_from("<ii", data, 0)
+        assert 0x100 + e1 == t1.addr
+        assert 0x100 + e2 == t2.addr
+
+    def test_table_entry_overflow(self, spec):
+        stream = Stream(".t")
+        base = Label("base")
+        base.addr = 0
+        far = Label("far")
+        far.addr = 0x10000
+        stream.table(base, [far], entry_size=1, signed=False)
+        stream.assign_addresses(spec, 0)
+        with pytest.raises(ReproError):
+            stream.render(spec, 0)
+
+    def test_pointer_slots_record_addresses(self, spec):
+        stream = Stream(".t")
+        target = Label("f")
+        target.addr = 0x5000
+        chunk = stream.pointer(target, delta=1)
+        stream.assign_addresses(spec, 0x2000)
+        data = stream.render(spec, 0x2000)
+        assert chunk.addr == 0x2000
+        assert int.from_bytes(data, "little") == 0x5001
+
+
+class TestLangProfiles:
+    def test_known_profiles(self):
+        assert profile("c").emits_jump_tables
+        assert not profile("go").emits_jump_tables
+        assert profile("cxx").uses_exceptions
+        assert profile("go").go_runtime
+        assert "rust_metadata" in profile("rust").features
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile("cobol")
+
+
+class TestInterpreter:
+    def test_arithmetic_and_masks(self):
+        program = ir.Program(name="t1", functions=[ir.Function("main", body=[
+            ir.SetConst("a", 10),
+            ir.BinOp("b", "*", "a", "a"),
+            ir.BinOp("b", "%u", "b", 8),
+            ir.Print("b"),
+            ir.Return("b"),
+        ])])
+        assert interpret(program) == (4, [4])
+
+    def test_undefined_variable(self):
+        program = ir.Program(name="t2", functions=[ir.Function("main", body=[
+            ir.Print("nope"),
+        ])])
+        with pytest.raises(InterpError):
+            interpret(program)
+
+    def test_uncaught_throw(self):
+        program = ir.Program(name="t3", lang="cxx", functions=[
+            ir.Function("main", body=[ir.Throw(1)]),
+        ])
+        with pytest.raises(InterpError):
+            interpret(program)
+
+    def test_step_budget(self):
+        program = ir.Program(name="t4", functions=[ir.Function("main", body=[
+            ir.Loop("i", 10 ** 9, [ir.SetConst("x", 1)]),
+        ])])
+        with pytest.raises(InterpError):
+            interpret(program, step_limit=1000)
+
+    def test_function_pointer_handles(self):
+        program = ir.Program(
+            name="t5",
+            globals=[ir.GlobalVar("fp", "&f")],
+            functions=[
+                ir.Function("f", params=["x"],
+                            body=[ir.Return("x")]),
+                ir.Function("main", body=[
+                    ir.CallPtr("r", "fp", 0, args=[5]),
+                    ir.Return("r"),
+                ]),
+            ],
+        )
+        assert interpret(program)[0] == 5
+
+    def test_out_of_range_global_index(self):
+        program = ir.Program(
+            name="t6",
+            globals=[ir.GlobalVar("arr", [1, 2])],
+            functions=[ir.Function("main", body=[
+                ir.LoadGlobal("x", "arr", 5), ir.Return("x"),
+            ])],
+        )
+        with pytest.raises(InterpError):
+            interpret(program)
+
+
+class TestCodegen:
+    def test_small_program_matches_oracle(self, arch, small_c_program):
+        binary = compiled(small_c_program, arch)
+        assert_same_behaviour(small_c_program, binary)
+
+    def test_small_cxx_program_matches_oracle(self, arch,
+                                              small_cxx_program):
+        binary = compiled(small_cxx_program, arch)
+        assert_same_behaviour(small_cxx_program, binary)
+
+    def test_pie_build_matches_oracle(self, arch, small_c_program):
+        binary = compiled(small_c_program, arch, pie=True)
+        assert binary.is_pic
+        assert_same_behaviour(small_c_program, binary)
+
+    def test_jump_table_ground_truth_recorded(self, arch,
+                                              small_c_program):
+        binary = compiled(small_c_program, arch)
+        truth = binary.metadata["jump_tables"]
+        assert len(truth) == 1
+        (table,) = truth
+        assert table["entries"] == 4
+        section = binary.section_containing(table["table_addr"])
+        if arch == "ppc64":
+            assert section.name == ".text"   # embedded in code!
+        else:
+            assert section.name == ".rodata"
+
+    def test_aarch64_narrow_table_entries(self, small_c_program):
+        binary = compiled(small_c_program, "aarch64")
+        (table,) = binary.metadata["jump_tables"]
+        assert table["entry_size"] in (1, 2)
+
+    def test_go_switches_are_compare_chains(self):
+        program = ir.Program(name="gosw", lang="go", functions=[
+            ir.Function("runtime.typesinit", body=[ir.Return(0)]),
+            ir.Function("main", body=[
+                ir.SetConst("k", 2),
+                ir.SetConst("acc", 0),
+                ir.Switch("k", [[ir.SetConst("acc", i)]
+                                for i in range(6)]),
+                ir.Return("acc"),
+            ]),
+        ])
+        binary = compile_program(program, "x86")
+        assert binary.metadata["jump_tables"] == []
+        assert_same_behaviour(program, binary)
+
+    def test_dynamic_sections_present(self, arch, small_c_program):
+        binary = compiled(small_c_program, arch)
+        for name in (".dynsym", ".dynstr", ".rela_dyn", ".eh_frame"):
+            assert binary.get_section(name) is not None
+
+    def test_unwind_recipes_cover_functions(self, arch, small_c_program):
+        binary = compiled(small_c_program, arch)
+        for sym in binary.function_symbols():
+            assert binary.unwind.recipe_for(sym.addr) is not None
+
+    def test_stripped_build_drops_local_symbols(self):
+        program = ir.Program(
+            name="stripped",
+            options={"strip": True},
+            functions=[
+                ir.Function("internal", params=["x"],
+                            body=[ir.Return("x")]),
+                ir.Function("main", body=[
+                    ir.Call("r", "internal", [4]), ir.Return("r"),
+                ]),
+            ],
+        )
+        binary = compile_program(program, "x86")
+        names = {s.name for s in binary.function_symbols()}
+        assert "internal" not in names
+        assert "main" in names
+
+    def test_link_relocs_only_on_request(self, small_c_program):
+        plain = compiled(small_c_program, "x86")
+        assert plain.link_relocs is None
+        program = ir.Program(
+            name="withrelocs",
+            options={"emit_link_relocs": True},
+            functions=small_c_program.functions,
+            globals=small_c_program.globals,
+        )
+        binary = compile_program(program, "x86")
+        assert binary.link_relocs
+
+    def test_too_many_locals_rejected(self):
+        body = [ir.SetConst(f"v{i}", i) for i in range(15)]
+        body.append(ir.Return(0))
+        program = ir.Program(name="toomany", functions=[
+            ir.Function("main", body=body),
+        ])
+        with pytest.raises(CodegenError):
+            compile_program(program, "x86")
+
+    def test_go_entry_nop(self):
+        program = ir.Program(name="gonop", lang="go", functions=[
+            ir.Function("runtime.typesinit", body=[ir.Return(0)]),
+            ir.Function("target", params=["x"],
+                        attrs=frozenset({"go_nop_entry"}),
+                        body=[ir.Return("x")]),
+            ir.Function("main", body=[
+                ir.Call("r", "target", [3]), ir.Return("r"),
+            ]),
+        ])
+        binary = compile_program(program, "x86")
+        spec = get_arch("x86")
+        entry = binary.symbols["target"].addr
+        first = spec.decode(binary.read(entry, 4), 0, addr=entry)
+        assert first.mnemonic == "nop"
+        assert_same_behaviour(program, binary)
+
+    def test_fixed_arch_code_budget_enforced(self):
+        functions = [
+            ir.Function(f"f{i}", params=["x"], body=[
+                ir.SetConst("a", 1),
+                ir.Loop("j", 3, [ir.BinOp("a", "+", "a", "j")] * 40),
+                ir.Return("a"),
+            ])
+            for i in range(200)
+        ]
+        functions.append(ir.Function("main", body=[ir.Return(0)]))
+        program = ir.Program(name="huge", functions=functions)
+        with pytest.raises(CodegenError, match="budget"):
+            compile_program(program, "ppc64")
+
+    def test_tail_call_emission(self, arch):
+        program = ir.Program(
+            name="tail",
+            globals=[ir.GlobalVar("fp", "&leaf")],
+            functions=[
+                ir.Function("leaf", params=["x"],
+                            body=[ir.BinOp("y", "+", "x", 2),
+                                  ir.Return("y")]),
+                ir.Function("trampolinist", params=["x"],
+                            body=[ir.TailCallPtr("fp", 0, args=["x"])]),
+                ir.Function("main", body=[
+                    ir.Call("r", "trampolinist", [40]),
+                    ir.Print("r"),
+                    ir.Return("r"),
+                ]),
+            ],
+        )
+        binary = compile_program(program, arch)
+        result = assert_same_behaviour(program, binary)
+        assert result.output == [42]

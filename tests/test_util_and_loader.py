@@ -1,0 +1,152 @@
+"""Utilities, the loader, and kernel services."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binfmt import Binary, R_RELATIVE, Relocation, make_alloc_section
+from repro.machine import Machine, machine_for
+from repro.machine.loader import DEFAULT_PIE_BIAS, load_binary
+from repro.machine.memory import Memory
+from repro.util import (
+    DeterministicRng,
+    align_down,
+    align_up,
+    fits_signed,
+    fits_unsigned,
+    s64,
+    sign_extend,
+    u64,
+)
+from repro.util.errors import ReproError, UnmappedMemoryFault
+
+
+class TestInts:
+    def test_wrap(self):
+        assert u64(-1) == (1 << 64) - 1
+        assert s64((1 << 64) - 1) == -1
+        assert s64(u64(-12345)) == -12345
+
+    @given(st.integers(-(2 ** 70), 2 ** 70))
+    @settings(max_examples=100, deadline=None)
+    def test_property_u64_s64_roundtrip(self, value):
+        assert u64(s64(value)) == u64(value)
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x7F, 8) == 127
+        assert sign_extend(0x8000, 16) == -32768
+
+    def test_fits(self):
+        assert fits_signed(127, 8) and not fits_signed(128, 8)
+        assert fits_signed(-128, 8) and not fits_signed(-129, 8)
+        assert fits_unsigned(255, 8) and not fits_unsigned(256, 8)
+        assert not fits_unsigned(-1, 8)
+
+    def test_align(self):
+        assert align_up(5, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_down(15, 8) == 8
+        assert align_up(5, 1) == 5
+
+
+class TestRng:
+    def test_deterministic_by_key(self):
+        a = DeterministicRng("seed")
+        b = DeterministicRng("seed")
+        assert [a.randint(0, 99) for _ in range(5)] == \
+            [b.randint(0, 99) for _ in range(5)]
+
+    def test_different_keys_differ(self):
+        a = DeterministicRng("one")
+        b = DeterministicRng("two")
+        assert [a.randint(0, 10 ** 9)] != [b.randint(0, 10 ** 9)]
+
+    def test_fork_is_order_insensitive(self):
+        parent = DeterministicRng("p")
+        parent.randint(0, 100)
+        child1 = parent.fork("x")
+        parent2 = DeterministicRng("p")
+        child2 = parent2.fork("x")
+        assert child1.randint(0, 10 ** 9) == child2.randint(0, 10 ** 9)
+
+
+class TestMemory:
+    def test_int_roundtrip(self):
+        mem = Memory(4096)
+        mem.write_int(100, -7, 8)
+        assert mem.read_int(100, 8, signed=True) == -7
+        assert mem.read_int(100, 8) == u64(-7)
+
+    def test_bounds(self):
+        mem = Memory(128)
+        with pytest.raises(UnmappedMemoryFault):
+            mem.read_bytes(120, 16)
+        with pytest.raises(UnmappedMemoryFault):
+            mem.write_bytes(-4, b"x")
+
+    def test_stack_top_aligned(self):
+        assert Memory(1 << 20).stack_top % 16 == 0
+
+
+def _pie_binary():
+    binary = Binary("p", "x86", "PIE", entry=0x1000)
+    binary.add_section(make_alloc_section(".text", 0x1000, b"\x3d" * 16,
+                                          exec_=True))
+    binary.add_section(make_alloc_section(".data", 0x2000, b"\0" * 16,
+                                          writable=True))
+    binary.relocations.append(Relocation(0x2000, R_RELATIVE, 0x1000))
+    return binary
+
+
+class TestLoader:
+    def test_default_pie_bias(self):
+        memory = Memory(1 << 20)
+        image = load_binary(_pie_binary(), memory)
+        assert image.bias == DEFAULT_PIE_BIAS
+        assert image.contains(0x1000 + DEFAULT_PIE_BIAS)
+        assert not image.contains(0x1000)
+
+    def test_relocations_applied_with_bias(self):
+        memory = Memory(1 << 20)
+        image = load_binary(_pie_binary(), memory, bias=0x10000)
+        assert memory.read_int(0x12000, 8) == 0x11000
+
+    def test_exec_refuses_bias(self):
+        binary = Binary("e", "x86", "EXEC", entry=0x1000)
+        binary.add_section(make_alloc_section(".text", 0x1000, b"\x3d",
+                                              exec_=True))
+        memory = Memory(1 << 20)
+        with pytest.raises(ReproError):
+            load_binary(binary, memory, bias=0x1000)
+        load_binary(binary, memory)   # bias 0 is fine
+
+    def test_address_translation(self):
+        memory = Memory(1 << 20)
+        image = load_binary(_pie_binary(), memory, bias=0x8000)
+        assert image.to_loaded(0x1000) == 0x9000
+        assert image.to_orig(0x9000) == 0x1000
+
+    def test_empty_binary_rejected(self):
+        binary = Binary("empty", "x86", "EXEC")
+        memory = Memory(1 << 20)
+        with pytest.raises(ReproError):
+            load_binary(binary, memory)
+
+
+class TestMachineFacade:
+    def test_machine_for_sizes_memory(self):
+        binary = Binary("big", "x86", "EXEC", entry=0x1000)
+        binary.add_section(make_alloc_section(
+            ".text", 0x1000, b"\x3d" * 16, exec_=True
+        ))
+        binary.add_section(make_alloc_section(
+            ".data", 0x500000, b"\0" * 16, writable=True
+        ))
+        machine = machine_for(binary)
+        assert machine.memory.size > 0x500000
+
+    def test_kernel_counters_initialized(self):
+        machine = Machine("x86")
+        for key in ("traps", "ra_translations", "dyn_translations",
+                    "unwound_frames", "exceptions", "tracebacks"):
+            assert machine.kernel.counters[key] == 0

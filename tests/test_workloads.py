@@ -1,0 +1,112 @@
+"""Workload generators: determinism, oracle agreement, personalities."""
+
+import pytest
+
+from repro.machine import run_binary
+from repro.toolchain import interpret
+from repro.toolchain.workloads import (
+    SPEC_BENCHMARK_NAMES,
+    SPEC_EXCEPTION_BENCHMARKS,
+    build_workload,
+    docker_spec,
+    docker_like,
+    firefox_spec,
+    generate_program,
+    libcuda_spec,
+    spec_workload,
+)
+from tests.conftest import ARCHES, workload
+
+
+class TestSuiteShape:
+    def test_nineteen_benchmarks(self):
+        assert len(SPEC_BENCHMARK_NAMES) == 19
+        assert "627.cam4_s" not in SPEC_BENCHMARK_NAMES  # excluded, paper
+
+    def test_two_exception_benchmarks(self):
+        assert set(SPEC_EXCEPTION_BENCHMARKS) == {
+            "620.omnetpp_s", "623.xalancbmk_s"
+        }
+        for name in SPEC_EXCEPTION_BENCHMARKS:
+            program = generate_program(spec_workload(name, "x86"))
+            binary = build_workload(spec_workload(name, "x86"), "x86")[1]
+            assert binary.landing_pads
+
+    def test_language_mix(self):
+        langs = {}
+        for name in SPEC_BENCHMARK_NAMES:
+            program = generate_program(spec_workload(name, "x86"))
+            langs.setdefault(program.lang, []).append(name)
+        assert len(langs["fortran"]) >= 6
+        assert "cxx" in langs and "c" in langs
+
+
+class TestDeterminism:
+    def test_same_spec_same_program(self):
+        a = generate_program(spec_workload("605.mcf_s", "x86"))
+        b = generate_program(spec_workload("605.mcf_s", "x86"))
+        assert [f.name for f in a.functions] == [f.name
+                                                 for f in b.functions]
+        binary_a = build_workload(spec_workload("605.mcf_s", "x86"),
+                                  "x86")[1]
+        binary_b = build_workload(spec_workload("605.mcf_s", "x86"),
+                                  "x86")[1]
+        assert binary_a.to_bytes() == binary_b.to_bytes()
+
+    def test_different_benchmarks_differ(self):
+        a = generate_program(spec_workload("605.mcf_s", "x86"))
+        b = generate_program(spec_workload("619.lbm_s", "x86"))
+        assert interpret(a) != interpret(b)
+
+
+@pytest.mark.parametrize("name", SPEC_BENCHMARK_NAMES)
+def test_benchmark_matches_oracle_x86(name):
+    program, binary = workload(name, "x86")
+    code, out = interpret(program)
+    result = run_binary(binary)
+    assert (result.exit_code, result.output) == (code, out)
+
+
+@pytest.mark.parametrize("arch", ["ppc64", "aarch64"])
+@pytest.mark.parametrize("name", ["602.sgcc_s", "620.omnetpp_s",
+                                  "603.bwaves_s"])
+def test_benchmark_matches_oracle_fixed_arches(arch, name):
+    program, binary = workload(name, arch)
+    code, out = interpret(program)
+    result = run_binary(binary)
+    assert (result.exit_code, result.output) == (code, out)
+
+
+class TestAppWorkloads:
+    def test_firefox_is_large_rust_pie(self):
+        spec = firefox_spec()
+        assert spec.pie and spec.lang == "rust"
+        program, binary = workload_cached("firefox")
+        assert binary.feature("rust_metadata")
+        assert binary.section(".text").size > 20000
+
+    def test_docker_is_go_with_runtime(self):
+        program, binary = workload_cached("docker")
+        assert binary.feature("go_runtime")
+        assert binary.func_table
+        assert binary.metadata["jump_tables"] == []   # Go: no jump tables
+
+    def test_libcuda_is_stripped_and_versioned(self):
+        program, binary = workload_cached("libcuda")
+        syms = binary.function_symbols()
+        assert all(s.binding == "GLOBAL" for s in syms)
+        assert any(s.version for s in syms)
+
+
+_APP_CACHE = {}
+
+
+def workload_cached(which):
+    if which not in _APP_CACHE:
+        from repro.toolchain.workloads import (
+            docker_like, firefox_like, libcuda_like
+        )
+        builder = {"firefox": firefox_like, "docker": docker_like,
+                   "libcuda": libcuda_like}[which]
+        _APP_CACHE[which] = builder()
+    return _APP_CACHE[which]
