@@ -14,7 +14,15 @@ from repro.analysis.cfg import (
     TAIL_CALL,
 )
 from repro.analysis.construction import ConstructionOptions, build_cfg
-from repro.analysis.failures import FailurePlan, inject_failures
+from repro.analysis.failures import (
+    FIG2_CATEGORIES,
+    FIG2_OVERAPPROX,
+    FIG2_REPORT,
+    FIG2_UNDERAPPROX,
+    FailurePlan,
+    classify_failure,
+    inject_failures,
+)
 from repro.analysis.funcptr import (
     CodeConstDef,
     DataSlotDef,
@@ -40,6 +48,11 @@ __all__ = [
     "ConstructionOptions",
     "FailurePlan",
     "inject_failures",
+    "classify_failure",
+    "FIG2_CATEGORIES",
+    "FIG2_REPORT",
+    "FIG2_OVERAPPROX",
+    "FIG2_UNDERAPPROX",
     "analyze_function_pointers",
     "FuncPtrAnalysis",
     "DataSlotDef",

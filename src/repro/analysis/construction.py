@@ -32,8 +32,10 @@ from repro.analysis.cfg import (
     LANDING_PAD,
     TAIL_CALL,
 )
+from repro.analysis.failures import classify_failure
 from repro.analysis.jumptable import JumpTableAnalyzer
 from repro.isa import get_arch
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.toolchain.codegen import RUNTIME_SUPPORT_FUNCS
 from repro.util.errors import AnalysisError, DecodingError
 
@@ -61,9 +63,16 @@ class ConstructionOptions:
         self.resolve_jump_tables = resolve_jump_tables
 
 
-def build_cfg(binary, options=None):
-    """Build the whole-binary CFG."""
+def build_cfg(binary, options=None, tracer=None, metrics=None):
+    """Build the whole-binary CFG.
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) record per-function
+    construction counters and one ``analysis-failure`` event per
+    contained failure, with its Figure-2 category.
+    """
     options = options or ConstructionOptions()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
     spec = get_arch(binary.arch_name)
     cfg = BinaryCFG(binary)
 
@@ -91,10 +100,24 @@ def build_cfg(binary, options=None):
         if name in RUNTIME_SUPPORT_FUNCS:
             fcfg.is_runtime_support = True
         cfg.add(fcfg)
+        metrics.inc("cfg.functions")
+        if fcfg.failed is not None:
+            metrics.inc("cfg.functions_failed")
+            tracer.event(
+                "analysis-failure",
+                function=fcfg.name,
+                reason=fcfg.failed,
+                category=classify_failure(fcfg.failed),
+            )
+        else:
+            metrics.inc("cfg.blocks", len(fcfg.blocks))
+            metrics.inc("cfg.instructions", len(builder.insn_at))
+            metrics.inc("cfg.jump_tables", len(fcfg.jump_tables))
         for target in discovered_calls:
             if target not in seeds:
                 seeds[target] = (f"func_{target:x}", None)
                 worklist.append(target)
+    tracer.count("functions", len(visited))
     return cfg
 
 

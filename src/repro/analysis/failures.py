@@ -19,6 +19,33 @@ from dataclasses import dataclass, field
 from repro.analysis.cfg import BRANCH, BasicBlock
 from repro.util.errors import AnalysisError
 
+# Figure-2 failure categories (used by failure forensics in the trace).
+FIG2_REPORT = "analysis-reporting-failure"
+FIG2_OVERAPPROX = "over-approximation"
+FIG2_UNDERAPPROX = "under-approximation"
+
+FIG2_CATEGORIES = (FIG2_REPORT, FIG2_OVERAPPROX, FIG2_UNDERAPPROX)
+
+
+def classify_failure(reason):
+    """Map a per-function failure reason onto its Figure-2 category.
+
+    Every failure that *skips* a function is, by the paper's definition,
+    an analysis reporting failure (the analysis announced it could not
+    handle the function).  Over-/under-approximation never set
+    ``FunctionCFG.failed`` — they silently perturb edges — so they only
+    show up here when an injector or analysis names them explicitly in
+    the reason string.
+    """
+    text = (reason or "").lower()
+    if "over-approx" in text or "overapprox" in text \
+            or "infeasible edge" in text:
+        return FIG2_OVERAPPROX
+    if "under-approx" in text or "underapprox" in text \
+            or "missed edge" in text or "hidden target" in text:
+        return FIG2_UNDERAPPROX
+    return FIG2_REPORT
+
 
 @dataclass
 class FailurePlan:

@@ -5,6 +5,8 @@ Examples::
     python -m repro list
     python -m repro rewrite --workload 602.sgcc_s --arch x86 \\
         --mode func-ptr --scorch -o sgcc.rw
+    python -m repro rewrite --workload 602.sgcc_s --mode jt \\
+        --profile --trace sgcc-trace.json
     python -m repro run sgcc.rw
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
@@ -24,6 +26,7 @@ from repro.core import (
 )
 from repro.binfmt import Binary
 from repro.machine import run_binary
+from repro.obs import Metrics, Tracer, render_profile
 from repro.toolchain.workloads import (
     SPEC_BENCHMARK_NAMES,
     build_workload,
@@ -80,14 +83,21 @@ def cmd_rewrite(args):
     instrumentation = (CountingInstrumentation()
                        if args.instrument == "counting"
                        else EmptyInstrumentation())
+    observing = args.profile or args.trace
+    tracer = Tracer(name=f"rewrite:{args.workload}") if observing \
+        else None
+    metrics = Metrics() if observing else None
     try:
         rewritten, report, runtime = rewrite_binary(
             binary, RewriteMode.parse(args.mode),
             instrumentation=instrumentation,
             scorch_original=args.scorch,
+            tracer=tracer, metrics=metrics,
         )
     except ReproError as exc:
         print(f"rewrite refused: {exc}", file=sys.stderr)
+        if args.profile and tracer is not None:
+            print(render_profile(tracer), file=sys.stderr)
         return 1
     if args.output:
         with open(args.output, "wb") as f:
@@ -104,16 +114,24 @@ def cmd_rewrite(args):
             name for name, _ in report.failed_functions))
     if args.output:
         print(f"written       : {args.output}")
+    diverged = False
     if args.run:
         base = run_binary(binary)
-        result = run_binary(rewritten, runtime_lib=runtime)
+        result = run_binary(rewritten, runtime_lib=runtime,
+                            tracer=tracer, metrics=metrics)
         same = (result.exit_code, result.output) == (base.exit_code,
                                                      base.output)
         print(f"run           : {'identical behaviour' if same else 'DIVERGED'}, "
               f"overhead {result.cycles / base.cycles - 1:+.2%}")
-        if not same:
-            return 1
-    return 0
+        diverged = not same
+    if args.trace:
+        with open(args.trace, "w") as f:
+            f.write(tracer.to_json(indent=2))
+        print(f"trace         : {args.trace}")
+    if args.profile:
+        print()
+        print(render_profile(tracer))
+    return 1 if diverged else 0
 
 
 def cmd_run(args):
@@ -226,6 +244,10 @@ def build_parser():
                    help="apply the strong rewrite test")
     p.add_argument("--run", action="store_true",
                    help="run original and rewritten, compare")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage timing table after rewriting")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the JSON trace tree to FILE")
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_rewrite)
 

@@ -16,7 +16,9 @@ from repro.core.placement import (
 )
 from repro.core.relocate import Relocator
 from repro.core.rewriter import (
+    FailedFunction,
     IncrementalRewriter,
+    PIPELINE_STAGES,
     RewriteReport,
     rewrite_binary,
 )
@@ -32,6 +34,8 @@ __all__ = [
     "RewriteMode",
     "IncrementalRewriter",
     "RewriteReport",
+    "FailedFunction",
+    "PIPELINE_STAGES",
     "rewrite_binary",
     "RuntimeLibrary",
     "CflAnalysis",

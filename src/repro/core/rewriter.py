@@ -15,11 +15,17 @@ Failure semantics follow Figure 2: a function whose analysis failed is
 left in place (coverage drops); ``func-ptr`` mode refuses to run when
 pointer identification is imprecise (:class:`RewriteError`), which is the
 "incremental" escape hatch — the user falls back to ``jt`` or ``dir``.
+
+Every stage runs under a trace span (:data:`PIPELINE_STAGES`, see
+:mod:`repro.obs`) and each skipped function is recorded as a structured
+``function-skipped`` event carrying its Figure-2 category.
 """
 
 from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
 
 from repro.analysis.construction import ConstructionOptions, build_cfg
+from repro.analysis.failures import classify_failure
 from repro.analysis.funcptr import analyze_function_pointers
 from repro.analysis.liveness import LivenessAnalysis
 from repro.binfmt.sections import Section
@@ -33,7 +39,37 @@ from repro.core.runtime_lib import RuntimeLibrary, pack_addr_map
 from repro.core.trampolines import ScratchPool, TrampolineInstaller
 from repro.isa import get_arch
 from repro.isa.archspec import ILLEGAL_BYTE
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.util.errors import RewriteError
+
+#: Trace span names of the eight pipeline stages (module docstring),
+#: opened in this order by :meth:`IncrementalRewriter.rewrite`.  Stages a
+#: mode does not perform (e.g. ``funcptr-redirection`` under ``dir``)
+#: still get a span, marked with ``skipped=True``, so every trace has the
+#: same shape.
+PIPELINE_STAGES = (
+    "cfg-construction",
+    "funcptr-analysis",
+    "cfl-computation",
+    "trampoline-placement",
+    "relocation",
+    "trampoline-installation",
+    "funcptr-redirection",
+    "emit-layout",
+)
+
+
+class FailedFunction(NamedTuple):
+    """One skipped function: structured so the report and the
+    failure-forensics trace events agree."""
+
+    name: str
+    reason: str
+
+    @property
+    def category(self):
+        """The Figure-2 failure category of :attr:`reason`."""
+        return classify_failure(self.reason)
 
 
 @dataclass
@@ -44,6 +80,8 @@ class RewriteReport:
     arch: str
     total_functions: int = 0
     relocated_functions: int = 0
+    #: :class:`FailedFunction` ``(name, reason)`` entries, one per
+    #: skipped function
     failed_functions: list = field(default_factory=list)
     cfl_blocks: int = 0
     superblocks: int = 0
@@ -54,7 +92,8 @@ class RewriteReport:
     ra_entries: int = 0
     original_loaded: int = 0
     rewritten_loaded: int = 0
-    funcptr_precise: bool = None
+    #: None = pointer analysis not consulted; True/False = its verdict
+    funcptr_precise: Optional[bool] = field(default=None)
     funcptr_reasons: list = field(default_factory=list)
 
     @property
@@ -84,12 +123,16 @@ class IncrementalRewriter:
     def __init__(self, mode=RewriteMode.JT, instrumentation=None,
                  construction_options=None, scorch_original=False,
                  call_emulation=False, cfg_hook=None,
-                 function_order="address", block_order="address"):
+                 function_order="address", block_order="address",
+                 tracer=None, metrics=None):
         self.mode = (RewriteMode.parse(mode) if isinstance(mode, str)
                      else mode)
         self.instrumentation = instrumentation or EmptyInstrumentation()
         self.construction_options = (construction_options
                                      or ConstructionOptions())
+        #: observability sinks (:mod:`repro.obs`); no-ops by default
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: emission order for the BOLT-comparison experiments (Section
         #: 8.3): "address" or "reverse"
         self.function_order = function_order
@@ -105,18 +148,49 @@ class IncrementalRewriter:
     # -- public ---------------------------------------------------------------
 
     def rewrite(self, binary):
-        """Rewrite; returns (rewritten Binary, RewriteReport)."""
+        """Rewrite; returns (rewritten Binary, RewriteReport).
+
+        Each pipeline stage runs under a :data:`PIPELINE_STAGES` trace
+        span; per-function failures become ``function-skipped`` events.
+        """
+        tr = self.tracer
+        metrics = self.metrics
+        with tr.span("rewrite", mode=str(self.mode),
+                     arch=binary.arch_name):
+            return self._rewrite_traced(binary, tr, metrics)
+
+    def _rewrite_traced(self, binary, tr, metrics):
         spec = get_arch(binary.arch_name)
-        cfg = build_cfg(binary, self.construction_options)
-        if self.cfg_hook is not None:
-            cfg = self.cfg_hook(cfg) or cfg
-        self._pre_checks(binary, cfg)
-        funcptrs = analyze_function_pointers(binary, cfg, spec)
-        if self.mode.rewrites_function_pointers and not funcptrs.precise:
-            raise RewriteError(
-                "func-ptr mode requires precise function-pointer "
-                "identification: " + "; ".join(funcptrs.reasons[:3])
-            )
+
+        with tr.span("cfg-construction"):
+            cfg = build_cfg(binary, self.construction_options,
+                            tracer=tr, metrics=metrics)
+            if self.cfg_hook is not None:
+                cfg = self.cfg_hook(cfg) or cfg
+            self._pre_checks(binary, cfg)
+            failed_fns = [FailedFunction(f.name, f.failed)
+                          for f in cfg.failed_functions()]
+            for rec in failed_fns:
+                metrics.inc("rewrite.functions_skipped")
+                tr.event(
+                    "function-skipped",
+                    function=rec.name,
+                    reason=rec.reason,
+                    category=rec.category,
+                    mode=str(self.mode),
+                )
+
+        with tr.span("funcptr-analysis"):
+            funcptrs = analyze_function_pointers(binary, cfg, spec)
+            tr.count("data_defs", len(funcptrs.data_defs))
+            tr.count("code_defs", len(funcptrs.code_defs))
+            tr.count("derived_defs", len(funcptrs.derived_defs))
+            if self.mode.rewrites_function_pointers \
+                    and not funcptrs.precise:
+                raise RewriteError(
+                    "func-ptr mode requires precise function-pointer "
+                    "identification: " + "; ".join(funcptrs.reasons[:3])
+                )
 
         all_functions = [
             f for f in cfg.sorted_functions() if not f.is_runtime_support
@@ -127,99 +201,132 @@ class IncrementalRewriter:
         ]
         relocated_set = {f.entry for f in relocated_fns}
 
-        extra = self.instrumentation.prepare(binary, cfg)
-        out, dead_ranges, extra_addrs = prepare_output(binary, extra)
-        if hasattr(self.instrumentation, "section_addr") \
-                and ".icounters" in extra_addrs:
-            self.instrumentation.section_addr = extra_addrs[".icounters"]
+        with tr.span("cfl-computation"):
+            extra = self.instrumentation.prepare(binary, cfg)
+            out, dead_ranges, extra_addrs = prepare_output(binary, extra)
+            if hasattr(self.instrumentation, "section_addr") \
+                    and ".icounters" in extra_addrs:
+                self.instrumentation.section_addr = \
+                    extra_addrs[".icounters"]
 
-        special_points, derived_by_slot = self._derived_flow_points(
-            funcptrs
-        )
-        extra_cfl = self._unrewritten_landing_points(
-            cfg, funcptrs, relocated_set
-        )
-        cfl = CflAnalysis(
-            binary, cfg, self.mode, funcptrs,
-            call_emulation=self.call_emulation, relocated=relocated_set,
-            extra_cfl_points=extra_cfl,
-        )
-        placement = self._compute_placement(cfg, cfl)
-        relocator = Relocator(
-            binary, spec, cfg, self.mode, self.instrumentation,
-            section_labels=extra_addrs,
-            call_emulation=self.call_emulation,
-            special_points=special_points,
-            funcptr_code_defs=(funcptrs.code_defs
-                               if self.mode.rewrites_function_pointers
-                               else ()),
-            **self._relocator_kwargs(),
-        )
-        emit_order = list(relocated_fns)
-        if self.function_order == "reverse":
-            emit_order.reverse()
-        reloc = relocator.relocate(emit_order, block_order=self.block_order)
-
-        instr_base = out.next_free_addr(64)
-        reloc.stream.assign_addresses(spec, instr_base)
-        instr_bytes = reloc.stream.render(spec, instr_base)
-        out.add_section(Section(".instr", instr_base, instr_bytes,
-                                ("ALLOC", "EXEC"), 16))
-
-        pool = ScratchPool(
-            list(placement.scratch_ranges)
-            + padding_ranges(binary, cfg, spec)
-            + list(dead_ranges)
-        )
-        installer = TrampolineInstaller(
-            out, spec, pool, toc_base=binary.metadata.get("toc_base"),
-            pool_leftovers=self.pool_leftovers,
-        )
-        liveness_cache = {}
-        for sb in placement.superblocks:
-            fcfg = cfg.by_name[sb.function]
-            if fcfg.name not in liveness_cache:
-                liveness_cache[fcfg.name] = LivenessAnalysis(fcfg, spec)
-            target = reloc.block_labels[sb.cfl_start].resolved()
-            dead = liveness_cache[fcfg.name].dead_gprs_at(sb.cfl_start)
-            installer.install(sb.function, sb.cfl_start, sb.size,
-                              target, dead)
-
-        redirected = 0
-        if self.mode.rewrites_function_pointers:
-            redirected = self._redirect_pointers(
-                out, funcptrs, derived_by_slot, reloc, relocated_set
+            special_points, derived_by_slot = self._derived_flow_points(
+                funcptrs
+            )
+            extra_cfl = self._unrewritten_landing_points(
+                cfg, funcptrs, relocated_set
+            )
+            cfl = CflAnalysis(
+                binary, cfg, self.mode, funcptrs,
+                call_emulation=self.call_emulation,
+                relocated=relocated_set,
+                extra_cfl_points=extra_cfl,
             )
 
-        if self.scorch_original:
-            self._scorch(out, cfg, relocated_fns, installer)
+        with tr.span("trampoline-placement"):
+            placement = self._compute_placement(cfg, cfl)
+            cfl_blocks = sum(len(v)
+                             for v in placement.cfl_by_function.values())
+            tr.count("cfl_blocks", cfl_blocks)
+            tr.count("superblocks", len(placement.superblocks))
+            metrics.inc("placement.cfl_blocks", cfl_blocks)
+            metrics.inc("placement.superblocks",
+                        len(placement.superblocks))
 
-        self._emit_maps(out, reloc, installer)
-        self._post_layout(out, reloc, installer)
-        ra_map = reloc.ra_map()
+        with tr.span("relocation"):
+            relocator = Relocator(
+                binary, spec, cfg, self.mode, self.instrumentation,
+                section_labels=extra_addrs,
+                call_emulation=self.call_emulation,
+                special_points=special_points,
+                funcptr_code_defs=(funcptrs.code_defs
+                                   if self.mode.rewrites_function_pointers
+                                   else ()),
+                **self._relocator_kwargs(),
+            )
+            emit_order = list(relocated_fns)
+            if self.function_order == "reverse":
+                emit_order.reverse()
+            reloc = relocator.relocate(emit_order,
+                                       block_order=self.block_order)
 
-        wrap_unwind = (not self.call_emulation
-                       and bool(binary.landing_pads))
-        go_hooks = (not self.call_emulation and bool(binary.func_table))
-        out.metadata["rewrite"] = {
-            "mode": str(self.mode),
-            "wrap_unwind": wrap_unwind,
-            "go_hooks": go_hooks,
-            "call_emulation": self.call_emulation,
-            "text_range": binary.metadata.get("text_range"),
-            "instr_range": [instr_base, instr_base + len(instr_bytes)],
-            "trampolines": installer.stats.as_dict(),
-        }
+            instr_base = out.next_free_addr(64)
+            reloc.stream.assign_addresses(spec, instr_base)
+            instr_bytes = reloc.stream.render(spec, instr_base)
+            out.add_section(Section(".instr", instr_base, instr_bytes,
+                                    ("ALLOC", "EXEC"), 16))
+            tr.count("relocated_functions", len(emit_order))
+            tr.count("clones", len(reloc.clones))
+            tr.count("instr_bytes", len(instr_bytes))
+            metrics.inc("relocation.functions", len(emit_order))
+            metrics.inc("relocation.clones", len(reloc.clones))
+            metrics.inc("relocation.instr_bytes", len(instr_bytes))
+
+        with tr.span("trampoline-installation"):
+            pool = ScratchPool(
+                list(placement.scratch_ranges)
+                + padding_ranges(binary, cfg, spec)
+                + list(dead_ranges)
+            )
+            installer = TrampolineInstaller(
+                out, spec, pool, toc_base=binary.metadata.get("toc_base"),
+                pool_leftovers=self.pool_leftovers,
+                tracer=tr, metrics=metrics,
+            )
+            liveness_cache = {}
+            for sb in placement.superblocks:
+                fcfg = cfg.by_name[sb.function]
+                if fcfg.name not in liveness_cache:
+                    liveness_cache[fcfg.name] = LivenessAnalysis(fcfg,
+                                                                 spec)
+                target = reloc.block_labels[sb.cfl_start].resolved()
+                dead = liveness_cache[fcfg.name].dead_gprs_at(
+                    sb.cfl_start)
+                installer.install(sb.function, sb.cfl_start, sb.size,
+                                  target, dead)
+
+        with tr.span("funcptr-redirection") as span:
+            redirected = 0
+            if self.mode.rewrites_function_pointers:
+                redirected = self._redirect_pointers(
+                    out, funcptrs, derived_by_slot, reloc, relocated_set
+                )
+                tr.count("redirected_slots", redirected)
+                metrics.inc("funcptr.redirected_slots", redirected)
+            else:
+                span.attrs["skipped"] = True
+
+        with tr.span("emit-layout"):
+            if self.scorch_original:
+                self._scorch(out, cfg, relocated_fns, installer)
+
+            self._emit_maps(out, reloc, installer)
+            self._post_layout(out, reloc, installer)
+            ra_map = reloc.ra_map()
+            tr.count("ra_entries", len(ra_map))
+            tr.count("trap_map_entries", len(installer.trap_map))
+
+            wrap_unwind = (not self.call_emulation
+                           and bool(binary.landing_pads))
+            go_hooks = (not self.call_emulation
+                        and bool(binary.func_table))
+            out.metadata["rewrite"] = {
+                "mode": str(self.mode),
+                "wrap_unwind": wrap_unwind,
+                "go_hooks": go_hooks,
+                "call_emulation": self.call_emulation,
+                "text_range": binary.metadata.get("text_range"),
+                "instr_range": [instr_base,
+                                instr_base + len(instr_bytes)],
+                "trampolines": installer.stats.as_dict(),
+            }
 
         report = RewriteReport(
             mode=str(self.mode),
             arch=spec.name,
             total_functions=len(all_functions),
             relocated_functions=len(relocated_fns),
-            failed_functions=[(f.name, f.failed)
-                              for f in cfg.failed_functions()],
-            cfl_blocks=sum(len(v)
-                           for v in placement.cfl_by_function.values()),
+            failed_functions=failed_fns,
+            cfl_blocks=cfl_blocks,
             superblocks=len(placement.superblocks),
             trampolines=installer.stats.as_dict(),
             traps=installer.stats.trap,
@@ -231,6 +338,9 @@ class IncrementalRewriter:
             funcptr_precise=funcptrs.precise,
             funcptr_reasons=list(funcptrs.reasons),
         )
+        metrics.inc("rewrite.runs")
+        metrics.set_gauge("rewrite.coverage", report.coverage)
+        metrics.set_gauge("rewrite.size_increase", report.size_increase)
         return out, report
 
     def runtime_library(self, rewritten):

@@ -22,6 +22,7 @@ from repro.core import (
     RuntimeLibrary,
 )
 from repro.machine import run_binary
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.util.errors import ReproError
 
 #: Tool names understood by :func:`make_tool`.
@@ -36,6 +37,7 @@ class ToolRun:
     tool: str
     benchmark: str
     passed: bool
+    #: ``"ExcType: message"`` when the run failed inside the pipeline
     error: str = None
     overhead: float = None
     coverage: float = None
@@ -44,6 +46,9 @@ class ToolRun:
     traps_hit: int = 0
     cycles: int = None
     report: object = field(default=None, repr=False)
+    #: the :class:`repro.obs.Tracer` that observed this run (None when
+    #: tracing was not requested)
+    trace: object = field(default=None, repr=False)
 
 
 def make_tool(name, instrumentation=None, scorch=True, **kwargs):
@@ -81,24 +86,45 @@ def runtime_for(tool, rewriter, rewritten):
 
 
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
-                  instrumentation=None, **tool_kwargs):
+                  instrumentation=None, tracer=None, metrics=None,
+                  **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
-    ``base_cycles`` the original binary's cycle count.
+    ``base_cycles`` the original binary's cycle count.  Pass a
+    :class:`repro.obs.Tracer` (and optionally a ``Metrics`` registry) to
+    observe the whole run — the rewrite's pipeline-stage spans and the
+    emulated execution land under it and the tracer is attached to the
+    returned :attr:`ToolRun.trace`; failures are recorded as
+    ``harness-error`` trace events with the exception type.
     """
+    attach = tracer if tracer is not None else None
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
     try:
         rewriter = make_tool(tool, instrumentation=instrumentation,
                              **tool_kwargs)
+        # Thread the sinks into the rewriter post-construction so every
+        # tool (incl. baselines with fixed signatures) is observable.
+        rewriter.tracer = tracer
+        rewriter.metrics = metrics
         rewritten, report = rewriter.rewrite(binary)
         runtime = runtime_for(tool, rewriter, rewritten)
-        result = run_binary(rewritten, runtime_lib=runtime)
+        result = run_binary(rewritten, runtime_lib=runtime,
+                            tracer=tracer, metrics=metrics)
     except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        tracer.event("harness-error", tool=tool, benchmark=benchmark,
+                     error=error)
+        metrics.inc("harness.errors")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
-                       error=f"{type(exc).__name__}: {exc}")
+                       error=error, trace=attach)
     if (result.exit_code, result.output) != oracle:
+        tracer.event("harness-error", tool=tool, benchmark=benchmark,
+                     error="wrong output")
+        metrics.inc("harness.wrong_output")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
-                       error="wrong output", report=report)
+                       error="wrong output", report=report, trace=attach)
     return ToolRun(
         tool=tool,
         benchmark=benchmark,
@@ -110,6 +136,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         traps_hit=result.counters.get("traps", 0),
         cycles=result.cycles,
         report=report,
+        trace=attach,
     )
 
 

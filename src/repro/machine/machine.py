@@ -9,7 +9,12 @@ from repro.machine.cpu import CPU, DEFAULT_STEP_LIMIT
 from repro.machine.kernel import Kernel
 from repro.machine.loader import load_binary
 from repro.machine.memory import Memory
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.util.ints import align_up
+
+#: Kernel counters mirrored onto the ``machine-run`` span / metrics.
+_KERNEL_COUNTERS = ("traps", "ra_translations", "dyn_translations",
+                    "unwound_frames", "exceptions", "tracebacks")
 
 
 @dataclass
@@ -35,9 +40,13 @@ class Machine:
     """A single emulated machine that loads and runs binaries."""
 
     def __init__(self, arch, costs=None, mem_size=None,
-                 step_limit=DEFAULT_STEP_LIMIT):
+                 step_limit=DEFAULT_STEP_LIMIT, tracer=None,
+                 metrics=None):
         self.spec = get_arch(arch) if isinstance(arch, str) else arch
         self.costs = costs or CostModel.default()
+        #: observability sinks (:mod:`repro.obs`); no-ops by default
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.memory = Memory(mem_size) if mem_size else Memory()
         self.kernel = Kernel(self.memory, self.costs)
         self.cpu = CPU(self.memory, self.spec, self.kernel, self.costs,
@@ -83,7 +92,14 @@ class Machine:
         if toc_base is not None:
             cpu.regs[TOC] = image.to_loaded(toc_base)
         start = entry if entry is not None else image.to_loaded(binary.entry)
-        exit_code = cpu.run(start, step_limit)
+        icount0, cycles0 = cpu.icount, cpu.cycles
+        counters0 = dict(self.kernel.counters)
+        with self.tracer.span("machine-run",
+                              arch=self.spec.name) as span:
+            try:
+                exit_code = cpu.run(start, step_limit)
+            finally:
+                self._record_run(span, cpu, icount0, cycles0, counters0)
         return RunResult(
             exit_code=exit_code,
             output=list(self.kernel.output),
@@ -95,9 +111,26 @@ class Machine:
             last_traceback=self.kernel.last_traceback,
         )
 
+    def _record_run(self, span, cpu, icount0, cycles0, counters0):
+        """Mirror one run's instruction/trap/unwind tallies onto the
+        trace span and the metrics registry (deltas, so repeated runs on
+        one machine stay attributable)."""
+        instructions = cpu.icount - icount0
+        cycles = cpu.cycles - cycles0
+        span.count("instructions", instructions)
+        span.count("cycles", cycles)
+        self.metrics.inc("machine.instructions", instructions)
+        self.metrics.inc("machine.cycles", cycles)
+        for name in _KERNEL_COUNTERS:
+            delta = self.kernel.counters.get(name, 0) \
+                - counters0.get(name, 0)
+            if delta:
+                span.count(name, delta)
+                self.metrics.inc("machine." + name, delta)
+
 
 def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
-                stack_headroom=1 << 20):
+                stack_headroom=1 << 20, tracer=None, metrics=None):
     """A machine sized to fit ``binary`` plus stack headroom."""
     alloc = binary.alloc_sections()
     top = max((s.end for s in alloc), default=0)
@@ -105,13 +138,15 @@ def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
     size = align_up(top + 0x80000 + stack_headroom, 0x1000)
     size = max(size, 4 << 20)
     return Machine(binary.arch_name, costs=costs, mem_size=size,
-                   step_limit=step_limit)
+                   step_limit=step_limit, tracer=tracer, metrics=metrics)
 
 
 def run_binary(binary, runtime_lib=None, costs=None, bias=None,
-               step_limit=DEFAULT_STEP_LIMIT, watch_bounce=None):
+               step_limit=DEFAULT_STEP_LIMIT, watch_bounce=None,
+               tracer=None, metrics=None):
     """Load and run a binary on a fresh machine; returns a RunResult."""
-    machine = machine_for(binary, costs=costs, step_limit=step_limit)
+    machine = machine_for(binary, costs=costs, step_limit=step_limit,
+                          tracer=tracer, metrics=metrics)
     image = machine.load(binary, bias)
     if runtime_lib is not None:
         machine.install_runtime(runtime_lib, image)

@@ -1,0 +1,43 @@
+"""Observability: pipeline tracing, metrics, and failure forensics.
+
+The substrate every benchmark and robustness experiment measures itself
+against: nested wall-clock spans over the rewriting pipeline's stages,
+counter/gauge/histogram metrics, structured events for per-function
+failure forensics, JSON export, and a human-readable profile table.
+
+Everything is zero-dependency and defaults to no-op singletons
+(:data:`NULL_TRACER`, :data:`NULL_METRICS`) so un-instrumented runs pay
+near-zero cost.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    render_profile,
+    trace_from_json,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "render_profile",
+    "trace_from_json",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

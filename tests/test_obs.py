@@ -1,0 +1,261 @@
+"""The observability layer itself: spans, counters, events, no-op mode,
+metrics registry, JSON round-trips, and the profile renderer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Metrics,
+    NULL_METRICS,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    render_profile,
+    trace_from_json,
+)
+
+
+def stepping_clock(step=1.0):
+    """A deterministic clock advancing ``step`` per reading."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestSpans:
+    def test_nested_spans_form_a_tree(self):
+        tr = Tracer(clock=stepping_clock())
+        with tr.span("outer"):
+            with tr.span("inner-a"):
+                pass
+            with tr.span("inner-b"):
+                with tr.span("leaf"):
+                    pass
+        root = tr.finish()
+        outer = root.find("outer")
+        assert [c.name for c in root.children] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert outer.find("leaf").name == "leaf"
+        assert root.find("nonexistent") is None
+
+    def test_durations_are_positive_and_nest(self):
+        tr = Tracer(clock=stepping_clock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer = tr.find("outer")
+        inner = tr.find("inner")
+        assert inner.duration > 0
+        assert outer.duration > inner.duration
+
+    def test_current_span_tracks_the_stack(self):
+        tr = Tracer()
+        assert tr.current is tr.root
+        with tr.span("a") as a:
+            assert tr.current is a
+            with tr.span("b") as b:
+                assert tr.current is b
+            assert tr.current is a
+        assert tr.current is tr.root
+
+    def test_span_attrs_and_error_capture(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("stage", mode="jt"):
+                raise ValueError("boom")
+        span = tr.find("stage")
+        assert span.attrs["mode"] == "jt"
+        assert span.attrs["error"] == "ValueError: boom"
+
+    def test_events_attach_to_the_active_span(self):
+        tr = Tracer(clock=stepping_clock())
+        with tr.span("stage"):
+            tr.event("function-skipped", function="f", reason="r")
+        tr.event("root-level")
+        stage = tr.find("stage")
+        assert stage.events[0]["event"] == "function-skipped"
+        assert stage.events[0]["function"] == "f"
+        assert stage.events[0]["t"] > 0
+        assert tr.root.events[0]["event"] == "root-level"
+
+
+class TestCounterAggregation:
+    def test_counters_attach_to_the_active_span(self):
+        tr = Tracer()
+        with tr.span("a"):
+            tr.count("widgets", 2)
+            tr.count("widgets")
+        assert tr.find("a").counters == {"widgets": 3}
+
+    def test_total_counters_aggregates_the_subtree(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            tr.count("x", 1)
+            with tr.span("inner-1"):
+                tr.count("x", 10)
+                tr.count("y", 5)
+            with tr.span("inner-2"):
+                tr.count("x", 100)
+        outer = tr.find("outer")
+        assert outer.total_counters() == {"x": 111, "y": 5}
+        assert tr.root.total_counters() == {"x": 111, "y": 5}
+
+    def test_total_events_filters_by_name(self):
+        tr = Tracer()
+        with tr.span("a"):
+            tr.event("hit", n=1)
+            with tr.span("b"):
+                tr.event("hit", n=2)
+                tr.event("miss")
+        assert len(tr.root.total_events("hit")) == 2
+        assert len(tr.root.total_events()) == 3
+
+
+class TestNoOpMode:
+    def test_span_returns_one_shared_object(self):
+        # The no-op fast path must not allocate per span.
+        cm = NULL_TRACER.span("anything")
+        assert NULL_TRACER.span("something-else") is cm
+        with cm as span:
+            assert span is cm
+
+    def test_noop_records_nothing(self):
+        with NULL_TRACER.span("s") as span:
+            span.count("c", 5)
+            span.event("e", x=1)
+        NULL_TRACER.event("top")
+        NULL_TRACER.count("top", 3)
+        assert NULL_TRACER.to_dict() == {}
+        assert NULL_TRACER.find("s") is None
+        assert NULL_TRACER.finish() is None
+
+    def test_noop_span_state_is_immutable_across_uses(self):
+        # Repeated enter/exit must leave no residue (no event lists grow,
+        # no attrs appear) — the "near-zero cost" contract.
+        for _ in range(1000):
+            with NULL_TRACER.span("hot"):
+                pass
+        span = NULL_TRACER.span("check")
+        assert span.attrs == {}
+        assert not hasattr(span, "events") or not span.events
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_exceptions_propagate_through_noop_spans(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("s"):
+                raise KeyError("x")
+
+
+class TestJsonRoundTrip:
+    def _sample(self):
+        tr = Tracer(name="sample", clock=stepping_clock(0.5))
+        with tr.span("stage-1", mode="jt"):
+            tr.count("functions", 7)
+            tr.event("function-skipped", function="f", reason="r",
+                     category="analysis-reporting-failure")
+            with tr.span("sub"):
+                tr.count("bytes", 128)
+        with tr.span("stage-2"):
+            pass
+        tr.finish()
+        return tr
+
+    def test_round_trip_is_lossless(self):
+        tr = self._sample()
+        first = tr.to_dict()
+        rebuilt = trace_from_json(tr.to_json())
+        assert rebuilt.to_dict() == first
+        # And stable across a second trip.
+        assert trace_from_json(json.dumps(rebuilt.to_dict())).to_dict() \
+            == first
+
+    def test_exported_times_are_relative_to_root(self):
+        tr = self._sample()
+        data = tr.to_dict()
+        assert data["start"] == 0.0
+        assert data["end"] > 0.0
+        stage = data["children"][0]
+        assert 0.0 <= stage["start"] <= stage["end"] <= data["end"]
+
+    def test_rebuilt_tree_supports_queries(self):
+        root = trace_from_json(self._sample().to_json())
+        assert root.find("sub").counters == {"bytes": 128}
+        assert root.total_counters()["functions"] == 7
+        assert root.total_events("function-skipped")[0]["function"] == "f"
+
+    def test_json_is_valid_and_structured(self):
+        text = self._sample().to_json(indent=2)
+        data = json.loads(text)
+        assert data["name"] == "sample"
+        assert [c["name"] for c in data["children"]] \
+            == ["stage-1", "stage-2"]
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        m = Metrics()
+        m.inc("trampolines.hop")
+        m.inc("trampolines.hop", 2)
+        m.inc("trampolines.trap")
+        assert m.counter("trampolines.hop").value == 3
+        assert m.group("trampolines") == {"hop": 3, "trap": 1}
+
+    def test_gauges_and_histograms(self):
+        m = Metrics()
+        m.set_gauge("coverage", 0.75)
+        for v in (1, 2, 3):
+            m.observe("span_ms", v)
+        assert m.gauge("coverage").value == 0.75
+        h = m.histogram("span_ms")
+        assert (h.count, h.total, h.vmin, h.vmax) == (3, 6, 1, 3)
+        assert h.mean == 2.0
+
+    def test_as_dict_snapshot(self):
+        m = Metrics()
+        m.inc("a.b")
+        m.set_gauge("g", 1)
+        m.observe("h", 4)
+        snap = m.as_dict()
+        assert snap["counters"] == {"a.b": 1}
+        assert snap["gauges"] == {"g": 1}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_null_metrics_is_inert(self):
+        NULL_METRICS.inc("x", 5)
+        NULL_METRICS.observe("y", 1)
+        NULL_METRICS.set_gauge("z", 2)
+        assert NULL_METRICS.counter("x").value == 0
+        assert NULL_METRICS.counter_values() == {}
+        assert NULL_METRICS.group("x") == {}
+        assert NULL_METRICS.as_dict() == {"counters": {}}
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+
+
+class TestProfileRendering:
+    def test_profile_lists_every_span_with_times(self):
+        tr = Tracer(clock=stepping_clock())
+        with tr.span("stage-a"):
+            tr.count("items", 4)
+        with tr.span("stage-b", skipped=True):
+            pass
+        text = render_profile(tr)
+        assert "stage-a" in text
+        assert "items=4" in text
+        assert "(skipped)" in text
+        assert "%" in text.splitlines()[0]
+
+    def test_profile_accepts_a_span(self):
+        root = Span("root")
+        root.t_start, root.t_end = 0.0, 1.0
+        assert "root" in render_profile(root)
+
+    def test_profile_of_null_tracer(self):
+        assert render_profile(NULL_TRACER) == "(no trace recorded)"
