@@ -7,8 +7,14 @@ attached to the pytest-benchmark ``extra_info``).
 Scale knobs: set REPRO_BENCH_FULL=1 to run the full 19-benchmark suite
 in the Table 3 benches (the default uses a representative subset so
 ``pytest benchmarks/ --benchmark-only`` stays in CI-friendly time).
+
+Machine-readable output: ``--json OUT`` collects every record a bench
+registers through the ``runtime_records`` fixture and writes them as one
+``BENCH_runtime/v1`` JSON document at session end, so perf trajectories
+can be tracked across commits.
 """
 
+import json
 import os
 
 import pytest
@@ -42,3 +48,29 @@ def print_section(request):
         print("=" * 72)
         print(body)
     return _print
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", action="store", default=None, metavar="OUT",
+        help="write collected runtime benchmark records to OUT as JSON",
+    )
+
+
+_RUNTIME_RECORDS = []
+
+
+@pytest.fixture
+def runtime_records():
+    """Register machine-readable results: call with a dict per record
+    (e.g. tool/benchmark/cycles/instructions/trampoline hits)."""
+    return _RUNTIME_RECORDS.append
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = session.config.getoption("--json")
+    if not out or not _RUNTIME_RECORDS:
+        return
+    with open(out, "w") as f:
+        json.dump({"schema": "BENCH_runtime/v1",
+                   "results": _RUNTIME_RECORDS}, f, indent=2)

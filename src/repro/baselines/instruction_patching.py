@@ -97,17 +97,26 @@ class InstructionPatcher:
         trap_map = {}
         stats = {"direct": 0, "long": 0, "hop": 0, "save_restore": 0,
                  "trap": 0}
+        site_records = []
         for fcfg, block in sites:
             insn = block.insns[0]
             target = entry_labels[insn.addr].resolved()
-            self._patch_site(out, spec, insn, target, pool, trap_map,
-                             stats)
+            kind = self._patch_site(out, spec, insn, target, pool,
+                                    trap_map, stats)
+            site_records.append([insn.addr, kind, fcfg.name])
 
         addr = out.next_free_addr(16)
         out.add_section(Section(".trap_map", addr,
                                 pack_addr_map(trap_map), ("ALLOC",), 8))
+        # Non-ALLOC forensics map mirroring the incremental rewriter's:
+        # patched site -> its mini-trampoline entry.
+        reloc_map = {a: lab.resolved() for a, lab in entry_labels.items()}
+        addr = out.next_free_addr(16)
+        out.add_section(Section(".reloc_map", addr,
+                                pack_addr_map(reloc_map), (), 8))
         out.metadata["rewrite"] = {"mode": "instruction-patching",
-                                   "trampolines": stats}
+                                   "trampolines": stats,
+                                   "trampoline_sites": site_records}
 
         candidates = [f for f in cfg.sorted_functions()
                       if not f.is_runtime_support]
@@ -152,6 +161,7 @@ class InstructionPatcher:
             stream.emit(m, *insn.operands)
 
     def _patch_site(self, out, spec, insn, target, pool, trap_map, stats):
+        """Patch one site; returns the trampoline kind installed."""
         site = insn.addr
         room = insn.length
         if spec.name == "x86":
@@ -159,7 +169,7 @@ class InstructionPatcher:
                 self._write(out, spec, site,
                             Instruction("jmp", target - site), room)
                 stats["long"] += 1
-                return
+                return "long"
             if room >= 2:
                 lo, hi = spec.pcrel_ranges["jmp.s"]
                 slot = pool.take(5, lo=site + lo, hi=site + hi + 1)
@@ -170,11 +180,11 @@ class InstructionPatcher:
                         Instruction("jmp", target - slot, addr=slot)
                     ))
                     stats["hop"] += 1
-                    return
+                    return "hop"
             out.write(site, spec.encode(Instruction("trap")))
             trap_map[site] = target
             stats["trap"] += 1
-            return
+            return "trap"
         # Fixed-length: a branch always fits, but range may not reach —
         # and there is no CFG, hence no liveness, hence no scratch
         # register for a long sequence: trap.
@@ -182,10 +192,11 @@ class InstructionPatcher:
             self._write(out, spec, site,
                         Instruction("jmp", target - site), room)
             stats["direct"] += 1
-            return
+            return "direct"
         out.write(site, spec.encode(Instruction("trap")))
         trap_map[site] = target
         stats["trap"] += 1
+        return "trap"
 
     @staticmethod
     def _write(out, spec, site, insn, room):

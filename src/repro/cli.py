@@ -26,7 +26,13 @@ from repro.core import (
 )
 from repro.binfmt import Binary
 from repro.machine import run_binary
-from repro.obs import Metrics, Tracer, render_profile
+from repro.obs import (
+    FlightRecorder,
+    Metrics,
+    Tracer,
+    render_flight_report,
+    render_profile,
+)
 from repro.toolchain.workloads import (
     SPEC_BENCHMARK_NAMES,
     build_workload,
@@ -140,12 +146,41 @@ def cmd_run(args):
     runtime = None
     if "rewrite" in binary.metadata:
         runtime = RuntimeLibrary.from_binary(binary)
-    result = run_binary(binary, runtime_lib=runtime)
+    flight = FlightRecorder() if args.flight_record else None
+    result = run_binary(binary, runtime_lib=runtime, flight=flight)
     for value in result.output:
         print(value)
     print(f"[exit {result.exit_code}, {result.icount:,} instructions, "
           f"{result.cycles:,} cycles]", file=sys.stderr)
+    if flight is not None:
+        with open(args.flight_record, "w") as f:
+            f.write(flight.to_json(indent=2))
+        print(render_flight_report(flight), file=sys.stderr)
+        print(f"[flight record written to {args.flight_record}]",
+              file=sys.stderr)
     return 0
+
+
+def cmd_diff_run(args):
+    from repro.eval import differential_run, render_forensics
+    with open(args.original, "rb") as f:
+        original = Binary.from_bytes(f.read())
+    with open(args.rewritten, "rb") as f:
+        rewritten = Binary.from_bytes(f.read())
+    try:
+        bundle = differential_run(original, rewritten, ring=args.ring,
+                                  max_steps=args.max_steps)
+    except ReproError as exc:
+        print(f"diff-run refused: {exc}", file=sys.stderr)
+        return 2
+    print(render_forensics(bundle))
+    if args.json:
+        import json
+        with open(args.json, "w") as f:
+            json.dump(bundle.to_dict(), f, indent=2)
+        print(f"[forensics bundle written to {args.json}]",
+              file=sys.stderr)
+    return 1 if bundle.diverged else 0
 
 
 def cmd_layout(args):
@@ -253,7 +288,25 @@ def build_parser():
 
     p = sub.add_parser("run", help="run a (possibly rewritten) binary")
     p.add_argument("binary")
+    p.add_argument("--flight-record", metavar="FILE",
+                   help="record the execution (block ring, trampoline "
+                        "hits, RA translations) and write JSON to FILE")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "diff-run",
+        help="run original and rewritten binaries in lockstep and "
+             "report the first divergence",
+    )
+    p.add_argument("original")
+    p.add_argument("rewritten")
+    p.add_argument("--ring", type=int, default=64,
+                   help="per-side block-ring size (default 64)")
+    p.add_argument("--max-steps", type=int, default=5_000_000,
+                   help="per-side dynamic instruction budget")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the forensics bundle as JSON")
+    p.set_defaults(func=cmd_diff_run)
 
     p = sub.add_parser("layout",
                        help="print a Figure-1-style section report")

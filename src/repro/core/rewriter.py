@@ -318,6 +318,8 @@ class IncrementalRewriter:
                 "instr_range": [instr_base,
                                 instr_base + len(instr_bytes)],
                 "trampolines": installer.stats.as_dict(),
+                "trampoline_sites": [[r.site, r.kind, r.function]
+                                     for r in installer.records],
             }
 
         report = RewriteReport(
@@ -478,6 +480,17 @@ class IncrementalRewriter:
         addr = out.next_free_addr(16)
         out.add_section(
             Section(".trap_map", addr, trap_bytes, ("ALLOC",), 8)
+        )
+        # Non-ALLOC forensics map (original block start -> relocated
+        # address): never loaded, so run-time layout and loaded_size are
+        # untouched; the differential runner reads it offline to pair up
+        # sync points between the two images.
+        reloc_map = {start: lab.addr
+                     for start, lab in reloc.block_labels.items()
+                     if lab.addr is not None}
+        addr = out.next_free_addr(16)
+        out.add_section(
+            Section(".reloc_map", addr, pack_addr_map(reloc_map), (), 8)
         )
 
 

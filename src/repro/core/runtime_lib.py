@@ -93,6 +93,11 @@ class RuntimeLibrary:
             return loaded_pc
         return mapped + self.bias
 
+    def has_mapping(self, loaded_pc):
+        """Whether :meth:`translate` would hit the ``.ra_map`` (as opposed
+        to passing ``loaded_pc`` through unchanged)."""
+        return (loaded_pc - self.bias) in self.ra_map
+
     def trap_target(self, loaded_pc):
         """Trap-signal handler lookup; None when the trap is not ours."""
         orig = loaded_pc - self.bias

@@ -1,6 +1,12 @@
 """Evaluation harness: tool drivers, aggregation, table printers, and
 the per-experiment reproductions of every table and figure."""
 
+from repro.eval.diffrun import (
+    Divergence,
+    ForensicsBundle,
+    differential_run,
+    render_forensics,
+)
 from repro.eval.harness import (
     ToolRun,
     baseline_run,
@@ -21,6 +27,10 @@ from repro.eval.experiments import (
 )
 
 __all__ = [
+    "Divergence",
+    "ForensicsBundle",
+    "differential_run",
+    "render_forensics",
     "ToolRun",
     "baseline_run",
     "evaluate_tool",

@@ -45,10 +45,18 @@ class ToolRun:
     traps_installed: int = 0
     traps_hit: int = 0
     cycles: int = None
+    #: runtime profile of the emulated execution
+    instructions: int = None
+    ra_translations: int = 0
+    dyn_translations: int = 0
+    unwound_frames: int = 0
     report: object = field(default=None, repr=False)
     #: the :class:`repro.obs.Tracer` that observed this run (None when
     #: tracing was not requested)
     trace: object = field(default=None, repr=False)
+    #: the :class:`repro.obs.FlightRecorder` that observed this run
+    #: (None when flight recording was not requested)
+    flight: object = field(default=None, repr=False)
 
 
 def make_tool(name, instrumentation=None, scorch=True, **kwargs):
@@ -87,7 +95,7 @@ def runtime_for(tool, rewriter, rewritten):
 
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                   instrumentation=None, tracer=None, metrics=None,
-                  **tool_kwargs):
+                  flight=None, **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
@@ -96,7 +104,10 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     observe the whole run — the rewrite's pipeline-stage spans and the
     emulated execution land under it and the tracer is attached to the
     returned :attr:`ToolRun.trace`; failures are recorded as
-    ``harness-error`` trace events with the exception type.
+    ``harness-error`` trace events with the exception type.  Pass a
+    :class:`repro.obs.FlightRecorder` as ``flight`` to record the
+    emulated execution (block ring, trampoline hits, RA translations);
+    it comes back on :attr:`ToolRun.flight`.
     """
     attach = tracer if tracer is not None else None
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -111,20 +122,22 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         rewritten, report = rewriter.rewrite(binary)
         runtime = runtime_for(tool, rewriter, rewritten)
         result = run_binary(rewritten, runtime_lib=runtime,
-                            tracer=tracer, metrics=metrics)
+                            tracer=tracer, metrics=metrics,
+                            flight=flight)
     except ReproError as exc:
         error = f"{type(exc).__name__}: {exc}"
         tracer.event("harness-error", tool=tool, benchmark=benchmark,
                      error=error)
         metrics.inc("harness.errors")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
-                       error=error, trace=attach)
+                       error=error, trace=attach, flight=flight)
     if (result.exit_code, result.output) != oracle:
         tracer.event("harness-error", tool=tool, benchmark=benchmark,
                      error="wrong output")
         metrics.inc("harness.wrong_output")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
-                       error="wrong output", report=report, trace=attach)
+                       error="wrong output", report=report, trace=attach,
+                       flight=flight)
     return ToolRun(
         tool=tool,
         benchmark=benchmark,
@@ -135,8 +148,13 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         traps_installed=report.traps,
         traps_hit=result.counters.get("traps", 0),
         cycles=result.cycles,
+        instructions=result.icount,
+        ra_translations=result.counters.get("ra_translations", 0),
+        dyn_translations=result.counters.get("dyn_translations", 0),
+        unwound_frames=result.counters.get("unwound_frames", 0),
         report=report,
         trace=attach,
+        flight=flight,
     )
 
 
@@ -147,7 +165,13 @@ def baseline_run(binary):
 
 
 def summarize(runs):
-    """Aggregate ToolRuns the way Table 3 reports them."""
+    """Aggregate ToolRuns the way Table 3 reports them.
+
+    Tolerates ``None`` and empty/all-failed run lists: every aggregate
+    over no values comes back ``None`` (totals come back 0) instead of
+    raising.
+    """
+    runs = list(runs) if runs else []
     passed = [r for r in runs if r.passed]
     def agg(values, fn, default=None):
         values = [v for v in values if v is not None]
@@ -170,4 +194,11 @@ def summarize(runs):
             [r.size_increase for r in passed],
             lambda v: sum(v) / len(v),
         ),
+        # Runtime-profile totals across the passing runs.
+        "cycles_total": agg([r.cycles for r in passed], sum, 0),
+        "instructions_total": agg(
+            [r.instructions for r in passed], sum, 0),
+        "traps_hit_total": agg([r.traps_hit for r in passed], sum, 0),
+        "ra_translations_total": agg(
+            [r.ra_translations for r in passed], sum, 0),
     }

@@ -75,13 +75,34 @@ class CPU:
         #: them are counted (used to measure .text <-> .instr bouncing).
         self.watch_regions = None
 
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; None keeps
+        #: the hot loop at a single identity test per step.
+        self.flight = None
+
         self._compiled = {}
+        self._ends = {}
 
     # -- public API --------------------------------------------------------
 
     def invalidate_code(self):
         """Drop compiled closures (call after writing to code memory)."""
         self._compiled.clear()
+        self._ends.clear()
+
+    def step(self):
+        """Execute exactly one instruction (lockstep/differential use).
+
+        Skips the run loop's icache/watch/flight accounting; callers own
+        whatever bookkeeping they need.
+        """
+        pc = self.pc
+        fn = self._compiled.get(pc)
+        if fn is None:
+            fn = self._compile(pc)
+            self._compiled[pc] = fn
+        fn()
+        self.icount += 1
+        self.cycles += 1
 
     def run(self, entry=None, step_limit=None):
         """Execute until an exit syscall; returns the exit code."""
@@ -102,6 +123,11 @@ class CPU:
         if watch:
             (a_lo, a_hi), (b_lo, b_hi) = watch
             prev_region = -1
+        flight = self.flight
+        if flight is not None:
+            ends = self._ends
+            fsites = flight.tramp_sites
+            flight.record_block(self.pc, self.cycles)
         self.running = True
         steps = 0
         while self.running:
@@ -131,6 +157,12 @@ class CPU:
             fn()
             steps += 1
             self.cycles += 1
+            if flight is not None:
+                if pc in fsites:
+                    flight.tramp_hit(pc)
+                npc = self.pc
+                if npc != ends[pc]:
+                    flight.record_block(npc, self.cycles)
             if steps >= limit:
                 raise MachineFault(
                     f"step limit of {limit} exceeded at pc={self.pc:#x}",
@@ -152,6 +184,7 @@ class CPU:
             raise IllegalInstructionFault(
                 f"illegal instruction at {addr:#x}: {exc}", pc=addr
             )
+        self._ends[addr] = addr + insn.length
         return self._make_closure(insn, data, msize)
 
     def _make_closure(self, insn, data, msize):

@@ -61,6 +61,8 @@ class _CompiledImage:
 class FastUnwinder(Unwinder):
     """Compiled (frdwarf-like) unwinding engine."""
 
+    engine = "frdwarf"
+
     def __init__(self, kernel):
         super().__init__(kernel)
         self._compiled = {}

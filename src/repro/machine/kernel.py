@@ -31,6 +31,8 @@ class Kernel:
         self.runtime_lib = None
         self.unwinder = Unwinder(self)
         self.last_traceback = None
+        #: Optional :class:`repro.obs.flight.FlightRecorder`.
+        self.flight = None
         self.counters = {
             "traps": 0,
             "ra_translations": 0,
@@ -70,7 +72,11 @@ class Kernel:
             return pc
         cpu.cycles += self.costs.ra_translate
         self.counters["ra_translations"] += 1
-        return lib.translate(pc)
+        new = lib.translate(pc)
+        fl = self.flight
+        if fl is not None:
+            fl.ra_event("cxx-unwind", pc, new, hit=lib.has_mapping(pc))
+        return new
 
     def translate_go_pc(self, pc, cpu):
         """RA translation in Go's ``findfunc``/``pcvalue`` entry hooks."""
@@ -79,7 +85,11 @@ class Kernel:
             return pc
         cpu.cycles += self.costs.ra_translate
         self.counters["ra_translations"] += 1
-        return lib.translate(pc)
+        new = lib.translate(pc)
+        fl = self.flight
+        if fl is not None:
+            fl.ra_event("go", pc, new, hit=lib.has_mapping(pc))
+        return new
 
     # -- syscalls ----------------------------------------------------------------
 

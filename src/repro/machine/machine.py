@@ -41,7 +41,7 @@ class Machine:
 
     def __init__(self, arch, costs=None, mem_size=None,
                  step_limit=DEFAULT_STEP_LIMIT, tracer=None,
-                 metrics=None):
+                 metrics=None, flight=None):
         self.spec = get_arch(arch) if isinstance(arch, str) else arch
         self.costs = costs or CostModel.default()
         #: observability sinks (:mod:`repro.obs`); no-ops by default
@@ -52,12 +52,18 @@ class Machine:
         self.cpu = CPU(self.memory, self.spec, self.kernel, self.costs,
                        step_limit)
         self.images = []
+        #: optional :class:`repro.obs.FlightRecorder`; None = not recording
+        self.flight = None
+        if flight is not None:
+            flight.attach(self)
 
     def load(self, binary, bias=None):
         image = load_binary(binary, self.memory, bias)
         self.kernel.add_image(image)
         self.images.append(image)
         self.cpu.invalidate_code()
+        if self.flight is not None:
+            self.flight.observe_image(image)
         return image
 
     def install_runtime(self, runtime_lib, image=None):
@@ -74,8 +80,14 @@ class Machine:
         """
         self.cpu.watch_regions = (range_a, range_b)
 
-    def run(self, image=None, entry=None, step_limit=None):
-        """Set up the initial stack and run from the binary entry point."""
+    def prepare_run(self, image=None, entry=None):
+        """Set up the initial stack and registers for a run from
+        ``entry`` (default: the binary's entry point); returns the
+        ``(image, start)`` pair with the CPU parked at ``start``.
+
+        :meth:`run` calls this internally; the differential runner calls
+        it directly and then single-steps the CPU itself.
+        """
         if image is None:
             image = self.images[0]
         binary = image.binary
@@ -92,6 +104,14 @@ class Machine:
         if toc_base is not None:
             cpu.regs[TOC] = image.to_loaded(toc_base)
         start = entry if entry is not None else image.to_loaded(binary.entry)
+        cpu.pc = start
+        cpu.running = True
+        return image, start
+
+    def run(self, image=None, entry=None, step_limit=None):
+        """Set up the initial stack and run from the binary entry point."""
+        image, start = self.prepare_run(image, entry)
+        cpu = self.cpu
         icount0, cycles0 = cpu.icount, cpu.cycles
         counters0 = dict(self.kernel.counters)
         with self.tracer.span("machine-run",
@@ -130,7 +150,8 @@ class Machine:
 
 
 def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
-                stack_headroom=1 << 20, tracer=None, metrics=None):
+                stack_headroom=1 << 20, tracer=None, metrics=None,
+                flight=None):
     """A machine sized to fit ``binary`` plus stack headroom."""
     alloc = binary.alloc_sections()
     top = max((s.end for s in alloc), default=0)
@@ -138,15 +159,16 @@ def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
     size = align_up(top + 0x80000 + stack_headroom, 0x1000)
     size = max(size, 4 << 20)
     return Machine(binary.arch_name, costs=costs, mem_size=size,
-                   step_limit=step_limit, tracer=tracer, metrics=metrics)
+                   step_limit=step_limit, tracer=tracer, metrics=metrics,
+                   flight=flight)
 
 
 def run_binary(binary, runtime_lib=None, costs=None, bias=None,
                step_limit=DEFAULT_STEP_LIMIT, watch_bounce=None,
-               tracer=None, metrics=None):
+               tracer=None, metrics=None, flight=None):
     """Load and run a binary on a fresh machine; returns a RunResult."""
     machine = machine_for(binary, costs=costs, step_limit=step_limit,
-                          tracer=tracer, metrics=metrics)
+                          tracer=tracer, metrics=metrics, flight=flight)
     image = machine.load(binary, bias)
     if runtime_lib is not None:
         machine.install_runtime(runtime_lib, image)

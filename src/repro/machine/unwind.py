@@ -31,6 +31,9 @@ from repro.util.errors import UnwindError
 class Unwinder:
     """DWARF-style frame walker over the emulated stack."""
 
+    #: Engine tag surfaced in flight-recorder unwind events.
+    engine = "dwarf"
+
     def __init__(self, kernel):
         self.kernel = kernel
 
@@ -43,6 +46,18 @@ class Unwinder:
         or when a frame PC has no unwind recipe (broken unwind info — the
         failure rewriting without RA translation produces).
         """
+        before = self.kernel.counters["unwound_frames"]
+        try:
+            return self._throw(cpu, payload)
+        finally:
+            fl = self.kernel.flight
+            if fl is not None:
+                fl.unwind_event(
+                    "throw", self.engine,
+                    self.kernel.counters["unwound_frames"] - before,
+                )
+
+    def _throw(self, cpu, payload):
         kernel = self.kernel
         pc = kernel.translate_unwind_pc(cpu.pc, cpu)
         sp = cpu.regs[SP]
@@ -94,6 +109,18 @@ class Unwinder:
         Raises :class:`UnwindError` ("unknown pc") when a frame PC is not
         covered by the function table.
         """
+        before = self.kernel.counters["unwound_frames"]
+        try:
+            return self._traceback(cpu)
+        finally:
+            fl = self.kernel.flight
+            if fl is not None:
+                fl.unwind_event(
+                    "traceback", self.engine,
+                    self.kernel.counters["unwound_frames"] - before,
+                )
+
+    def _traceback(self, cpu):
         kernel = self.kernel
         pc = kernel.translate_go_pc(cpu.pc, cpu)
         sp = cpu.regs[SP]

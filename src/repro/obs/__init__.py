@@ -10,6 +10,7 @@ Everything is zero-dependency and defaults to no-op singletons
 near-zero cost.
 """
 
+from repro.obs.flight import FlightRecorder, render_flight_report
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -40,4 +41,6 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "FlightRecorder",
+    "render_flight_report",
 ]

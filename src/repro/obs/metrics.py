@@ -6,6 +6,13 @@ one-liners.  :data:`NULL_METRICS` is the no-op twin used by default on
 hot paths, mirroring :data:`repro.obs.trace.NULL_TRACER`.
 """
 
+import math
+
+#: Samples retained per histogram for percentile queries.  Beyond this
+#: the streaming summary (count/sum/min/max/mean) stays exact but
+#: percentiles reflect the first RESERVOIR observations.
+RESERVOIR = 4096
+
 
 class Counter:
     """A monotonically increasing tally."""
@@ -40,9 +47,10 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+    """Streaming summary of observed values (count/sum/min/max/mean),
+    plus nearest-rank percentiles over a bounded sample reservoir."""
 
-    __slots__ = ("name", "count", "total", "vmin", "vmax")
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "samples")
 
     def __init__(self, name):
         self.name = name
@@ -50,16 +58,30 @@ class Histogram:
         self.total = 0
         self.vmin = None
         self.vmax = None
+        self.samples = []
 
     def observe(self, value):
         self.count += 1
         self.total += value
         self.vmin = value if self.vmin is None else min(self.vmin, value)
         self.vmax = value if self.vmax is None else max(self.vmax, value)
+        if len(self.samples) < RESERVOIR:
+            self.samples.append(value)
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """Nearest-rank ``p``-th percentile (``0 <= p <= 100``) over the
+        retained samples; None when nothing was observed."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
 
     def summary(self):
         return {"count": self.count, "sum": self.total,
@@ -151,6 +173,9 @@ class _NullInstrument:
 
     def observe(self, value):
         pass
+
+    def percentile(self, p):
+        return None
 
 
 _NULL_INSTRUMENT = _NullInstrument()

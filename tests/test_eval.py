@@ -64,6 +64,43 @@ class TestHarness:
         assert s["pass"] == 0
         assert s["overhead_max"] is None
 
+    def test_summarize_tolerates_none_and_empty_lists(self):
+        for runs in (None, [], iter(())):
+            s = summarize(runs)
+            assert s["pass"] == 0 and s["total"] == 0
+            assert s["overhead_max"] is None
+            assert s["overhead_mean"] is None
+            assert s["cycles_total"] == 0
+            assert s["ra_translations_total"] == 0
+
+    def test_summarize_runtime_totals(self):
+        runs = [
+            ToolRun("t", "a", True, cycles=100, instructions=80,
+                    traps_hit=2, ra_translations=5),
+            ToolRun("t", "b", True, cycles=50, instructions=40,
+                    traps_hit=1, ra_translations=0),
+            ToolRun("t", "c", False, error="x", cycles=999),
+        ]
+        s = summarize(runs)
+        assert s["cycles_total"] == 150
+        assert s["instructions_total"] == 120
+        assert s["traps_hit_total"] == 3
+        assert s["ra_translations_total"] == 5
+
+    def test_evaluate_tool_runtime_profile_fields(self):
+        from repro.obs import FlightRecorder
+        program, binary = workload("605.mcf_s", "x86")
+        oracle, cycles = baseline_run(binary)
+        recorder = FlightRecorder()
+        run = evaluate_tool("jt", binary, oracle, cycles, benchmark="m",
+                            flight=recorder)
+        assert run.passed
+        assert run.flight is recorder
+        assert run.instructions > 0
+        assert run.cycles > 0
+        assert recorder.blocks > 0
+        assert sum(recorder.tramp_hits.values()) > 0
+
 
 class TestTablePrinters:
     def test_table1_mentions_all_approaches(self):

@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.obs import (
+    Histogram,
     Metrics,
     NULL_METRICS,
     NULL_TRACER,
@@ -237,6 +238,50 @@ class TestMetrics:
         assert NULL_METRICS.group("x") == {}
         assert NULL_METRICS.as_dict() == {"counters": {}}
         assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+
+
+class TestHistogramPercentiles:
+    def test_empty_returns_none(self):
+        h = Histogram("h")
+        assert h.percentile(50) is None
+        assert h.percentile(0) is None
+        assert h.percentile(100) is None
+
+    def test_single_sample_every_percentile(self):
+        h = Histogram("h")
+        h.observe(42)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 42
+
+    def test_nearest_rank_semantics(self):
+        h = Histogram("h")
+        for v in range(100, 0, -1):  # insertion order must not matter
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(0) == 1
+
+    def test_out_of_range_raises(self):
+        h = Histogram("h")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_reservoir_bounds_samples_not_summary(self):
+        from repro.obs.metrics import RESERVOIR
+        h = Histogram("h")
+        for v in range(RESERVOIR + 100):
+            h.observe(v)
+        assert len(h.samples) == RESERVOIR
+        assert h.count == RESERVOIR + 100
+        assert h.vmax == RESERVOIR + 99
+
+    def test_null_histogram_percentile(self):
+        assert NULL_METRICS.histogram("x").percentile(50) is None
 
 
 class TestProfileRendering:

@@ -1,0 +1,205 @@
+"""The runtime flight recorder and the differential runner."""
+
+import json
+
+import pytest
+
+from repro.baselines import (
+    DynamicTranslationRewriter,
+    InstructionPatcher,
+)
+from repro.core import IncrementalRewriter, RewriteMode
+from repro.core.runtime_lib import unpack_addr_map
+from repro.eval.diffrun import (
+    differential_run,
+    render_forensics,
+)
+from repro.isa import get_arch
+from repro.isa.insn import Instruction
+from repro.machine import run_binary
+from repro.obs import FlightRecorder, render_flight_report
+from repro.obs.flight import Ring
+from repro.util.errors import ReproError
+from tests.conftest import compiled, small_program
+
+
+def _rewritten(arch="x86", mode=RewriteMode.JT):
+    binary = compiled(small_program("c"), arch)
+    rewriter = IncrementalRewriter(mode=mode, scorch_original=True)
+    out, report = rewriter.rewrite(binary)
+    return binary, out, rewriter.runtime_library(out)
+
+
+class TestRing:
+    def test_keeps_only_the_last_capacity_items(self):
+        ring = Ring(4)
+        for i in range(10):
+            ring.push(i)
+        assert len(ring) == 4
+        assert ring.items() == [6, 7, 8, 9]
+        assert ring.items(last=2) == [8, 9]
+
+    def test_under_capacity_preserves_everything(self):
+        ring = Ring(8)
+        ring.push("a")
+        ring.push("b")
+        assert ring.items() == ["a", "b"]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Ring(0)
+
+
+class TestFlightRecorder:
+    def test_records_blocks_and_trampoline_hits(self):
+        binary, out, runtime = _rewritten()
+        recorder = FlightRecorder()
+        result = run_binary(out, runtime_lib=runtime, flight=recorder)
+        assert recorder.blocks > 0
+        assert len(recorder.last_blocks()) > 0
+        hits = sum(recorder.tramp_hits.values())
+        assert hits > 0
+        # Every hit site resolves to a known kind at a known site.
+        kinds = recorder.hits_by_kind()
+        assert sum(kinds.values()) == hits
+        assert "?" not in kinds
+        # Entries mirror the run, not some stale state.
+        assert recorder.last_blocks()[-1][1] <= result.cycles
+
+    def test_site_resolution_uses_rewriter_metadata(self):
+        binary, out, runtime = _rewritten()
+        recorder = FlightRecorder()
+        run_binary(out, runtime_lib=runtime, flight=recorder)
+        declared = {site: (kind, fn) for site, kind, fn
+                    in out.metadata["rewrite"]["trampoline_sites"]}
+        assert recorder.tramp_hits
+        # Non-PIE test binaries load at bias 0, so loaded == link-time.
+        for loaded_site in recorder.tramp_hits:
+            assert declared[loaded_site] \
+                == recorder.tramp_sites[loaded_site]
+
+    def test_ring_is_bounded(self):
+        binary, out, runtime = _rewritten()
+        recorder = FlightRecorder(ring_size=8)
+        run_binary(out, runtime_lib=runtime, flight=recorder)
+        assert len(recorder.last_blocks()) <= 8
+        assert recorder.blocks > 8  # more happened than was retained
+
+    def test_summary_and_json_round_trip(self):
+        binary, out, runtime = _rewritten()
+        recorder = FlightRecorder()
+        run_binary(out, runtime_lib=runtime, flight=recorder)
+        summary = json.loads(recorder.to_json())
+        assert summary["blocks"] == recorder.blocks
+        assert summary["trampolines"]["hits_total"] \
+            == sum(recorder.tramp_hits.values())
+        assert 0 < summary["trampolines"]["occupancy"] <= 1
+        assert summary["block_cycles"]["p50"] is not None
+
+    def test_render_flight_report(self):
+        binary, out, runtime = _rewritten()
+        recorder = FlightRecorder()
+        run_binary(out, runtime_lib=runtime, flight=recorder)
+        text = render_flight_report(recorder)
+        assert "blocks executed" in text
+        assert "trampolines" in text
+        assert "hot site" in text
+        assert ".instr" in text
+
+    def test_disabled_recorder_changes_nothing(self):
+        binary, out, runtime = _rewritten()
+        plain = run_binary(out, runtime_lib=runtime)
+        observed = run_binary(out, runtime_lib=runtime,
+                              flight=FlightRecorder())
+        assert observed.checksum == plain.checksum
+        assert observed.cycles == plain.cycles
+        assert observed.icount == plain.icount
+
+
+def _corrupt_trampoline(out):
+    """Clone ``out`` with one long trampoline retargeted at the wrong
+    relocated block; returns (bad binary, site, wrong orig target)."""
+    spec = get_arch(out.arch_name)
+    reloc_map = unpack_addr_map(bytes(out.get_section(".reloc_map").data))
+    sites = {s: k for s, k, f in
+             out.metadata["rewrite"]["trampoline_sites"]}
+    site = next(s for s, k in sorted(sites.items())
+                if k == "long" and s != out.entry)
+    wrong_orig, wrong = max(
+        (k, v) for k, v in reloc_map.items() if k != site)
+    bad = out.clone()
+    bad.write(site, spec.encode(
+        Instruction("jmp", wrong - site, addr=site)))
+    return bad, site, wrong_orig
+
+
+class TestDifferentialRun:
+    @pytest.mark.parametrize("mode", [RewriteMode.JT, RewriteMode.DIR])
+    def test_clean_rewrite_is_equivalent(self, arch, mode):
+        binary = compiled(small_program("c"), arch)
+        out, _ = IncrementalRewriter(
+            mode=mode, scorch_original=True).rewrite(binary)
+        bundle = differential_run(binary, out)
+        assert not bundle.diverged
+        assert bundle.divergence is None
+        assert bundle.syncs > 0
+        assert bundle.original["exit_code"] \
+            == bundle.rewritten["exit_code"]
+
+    def test_clean_baselines_are_equivalent(self):
+        binary = compiled(small_program("c"), "x86")
+        for rewriter in (DynamicTranslationRewriter(),
+                         InstructionPatcher()):
+            out, _ = rewriter.rewrite(binary)
+            bundle = differential_run(binary, out)
+            assert not bundle.diverged, bundle.divergence
+
+    def test_bad_relocation_is_pinpointed(self):
+        binary, out, runtime = _rewritten()
+        bad, site, wrong_orig = _corrupt_trampoline(out)
+        bundle = differential_run(binary, bad)
+        assert bundle.diverged
+        d = bundle.divergence
+        assert d.kind == "control-flow"
+        # The exact diverging block pair: the original entered the
+        # corrupted site's block; the rewrite landed in the wrong one.
+        assert d.expected["orig"] == site
+        assert d.actual["orig"] == wrong_orig
+        assert d.actual["orig"] != d.expected["orig"]
+        # The trampoline chain ends at the corrupted site.
+        assert bundle.tramp_chain
+        last_site, last_kind, _fn = bundle.tramp_chain[-1]
+        assert last_site == site  # non-PIE: loaded == link-time
+        assert last_kind == "long"
+
+    def test_forensics_bundle_contents(self):
+        binary, out, runtime = _rewritten()
+        bad, site, wrong_orig = _corrupt_trampoline(out)
+        bundle = differential_run(binary, bad, ring=16)
+        assert bundle.original["last_blocks"]
+        assert bundle.rewritten["last_blocks"]
+        assert len(bundle.original["last_blocks"]) <= 16
+        as_dict = bundle.to_dict()
+        json.dumps(as_dict)  # JSON-serializable end to end
+        assert as_dict["divergence"]["kind"] == "control-flow"
+        text = render_forensics(bundle)
+        assert "DIVERGED" in text
+        assert "control-flow" in text
+        assert "trampoline chain" in text
+
+    def test_render_forensics_clean(self):
+        binary, out, runtime = _rewritten()
+        bundle = differential_run(binary, out)
+        text = render_forensics(bundle)
+        assert "EQUIVALENT" in text
+
+    def test_missing_reloc_map_is_refused(self):
+        binary = compiled(small_program("c"), "x86")
+        with pytest.raises(ReproError, match="reloc_map"):
+            differential_run(binary, binary)
+
+    def test_stall_budget(self):
+        binary, out, runtime = _rewritten()
+        bundle = differential_run(binary, out, max_steps=10)
+        assert bundle.diverged
+        assert bundle.divergence.kind == "stall"

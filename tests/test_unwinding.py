@@ -4,6 +4,7 @@ import pytest
 
 from repro.machine import machine_for, run_binary
 from repro.core import RewriteMode, RuntimeLibrary, rewrite_binary
+from repro.obs import FlightRecorder
 from repro.toolchain import compile_program, interpret, ir
 from repro.util.errors import UnwindError
 from tests.conftest import assert_same_behaviour, compiled
@@ -166,6 +167,61 @@ class TestGoTraceback:
             run_binary(rewritten, runtime_lib=broken)
 
 
+class TestRaTranslationObservability:
+    """The flight recorder's hit/miss split of the kernel's RA
+    translations, across both unwinding paths."""
+
+    def test_cxx_unwind_hits_and_misses(self, arch):
+        program = _throwing_program(depth=3, catch_level=0)
+        binary = compile_program(program, arch)
+        rewritten, report, runtime = rewrite_binary(
+            binary, RewriteMode.JT, scorch_original=True
+        )
+        recorder = FlightRecorder()
+        result = run_binary(rewritten, runtime_lib=runtime,
+                            flight=recorder)
+        stats = recorder.ra_stats["cxx-unwind"]
+        assert stats["hits"] > 0
+        assert stats["misses"] > 0  # at least the throw-site PC itself
+        assert stats["hits"] + stats["misses"] \
+            == result.counters["ra_translations"]
+        assert all(ev["path"] == "cxx-unwind"
+                   for ev in recorder.ra_miss_events)
+        walks = recorder.unwind_stats[("throw", "dwarf")]
+        assert walks["walks"] == result.counters["exceptions"]
+        assert walks["frames"] == result.counters["unwound_frames"]
+
+    def test_go_traceback_hits_and_sentinel_misses(self):
+        program, binary = docker_like()
+        rewritten, report, runtime = rewrite_binary(
+            binary, RewriteMode.JT, scorch_original=True
+        )
+        recorder = FlightRecorder()
+        result = run_binary(rewritten, runtime_lib=runtime,
+                            flight=recorder)
+        stats = recorder.ra_stats["go"]
+        assert stats["hits"] > 0
+        # Every complete stack scan ends at the sentinel RA 0, which no
+        # .ra_map covers, so misses count at least one per traceback.
+        assert stats["misses"] >= result.counters["tracebacks"] > 0
+        assert stats["hits"] + stats["misses"] \
+            == result.counters["ra_translations"]
+        walks = recorder.unwind_stats[("traceback", "dwarf")]
+        assert walks["walks"] == result.counters["tracebacks"]
+
+    def test_recorder_does_not_change_behaviour(self, arch):
+        program = _throwing_program(depth=3, catch_level=1)
+        binary = compile_program(program, arch)
+        rewritten, report, runtime = rewrite_binary(
+            binary, RewriteMode.JT, scorch_original=True
+        )
+        plain = run_binary(rewritten, runtime_lib=runtime)
+        observed = run_binary(rewritten, runtime_lib=runtime,
+                              flight=FlightRecorder())
+        assert observed.checksum == plain.checksum
+        assert observed.cycles == plain.cycles
+
+
 class TestRuntimeLibrary:
     def test_translate_passthrough_for_unknown(self):
         lib = RuntimeLibrary(ra_map={0x100: 0x50})
@@ -181,6 +237,15 @@ class TestRuntimeLibrary:
         assert lib.translate(0x40100) == 0x40050
         assert lib.trap_target(0x40030) == 0x40200
         assert lib.trap_target(0x40031) is None
+
+    def test_has_mapping_tracks_translate(self):
+        lib = RuntimeLibrary(ra_map={0x100: 0x50})
+        class FakeImage:
+            bias = 0x40000
+        lib.attach(FakeImage())
+        assert lib.has_mapping(0x40100)
+        assert not lib.has_mapping(0x40101)
+        assert not lib.has_mapping(0x100)  # unbiased address
 
     def test_dynamic_lookup_identity_default(self):
         lib = RuntimeLibrary(dyn_map={0x10: 0x90})
