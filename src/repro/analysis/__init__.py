@@ -13,7 +13,12 @@ from repro.analysis.cfg import (
     LANDING_PAD,
     TAIL_CALL,
 )
-from repro.analysis.construction import ConstructionOptions, build_cfg
+from repro.analysis.construction import (
+    ConstructionOptions,
+    build_cfg,
+    build_function_cfg,
+    initial_seeds,
+)
 from repro.analysis.failures import (
     FIG2_CATEGORIES,
     FIG2_OVERAPPROX,
@@ -28,7 +33,9 @@ from repro.analysis.funcptr import (
     DataSlotDef,
     DerivedFlowDef,
     FuncPtrAnalysis,
+    FunctionPtrScan,
     analyze_function_pointers,
+    scan_function_pointers,
 )
 from repro.analysis.jumptable import JumpTableAnalyzer
 from repro.analysis.liveness import LivenessAnalysis
@@ -45,6 +52,8 @@ __all__ = [
     "TAIL_CALL",
     "LANDING_PAD",
     "build_cfg",
+    "build_function_cfg",
+    "initial_seeds",
     "ConstructionOptions",
     "FailurePlan",
     "inject_failures",
@@ -54,7 +63,9 @@ __all__ = [
     "FIG2_OVERAPPROX",
     "FIG2_UNDERAPPROX",
     "analyze_function_pointers",
+    "scan_function_pointers",
     "FuncPtrAnalysis",
+    "FunctionPtrScan",
     "DataSlotDef",
     "CodeConstDef",
     "DerivedFlowDef",

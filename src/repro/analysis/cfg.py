@@ -194,6 +194,10 @@ class BinaryCFG:
         self.binary = binary
         self.functions = {}   # entry addr -> FunctionCFG
         self.by_name = {}
+        #: entry addr -> FunctionWorkItem (see repro.core.pipeline);
+        #: populated by build_cfg, carries per-function artifacts and
+        #: their cache provenance through the pipeline stages
+        self.work_items = {}
 
     def add(self, fcfg):
         self.functions[fcfg.entry] = fcfg

@@ -19,7 +19,20 @@ Per-function failures are *contained*: a failed function is recorded with
 ``failed = reason`` and the rest of the binary is still analyzed — the
 property that distinguishes incremental CFG patching from all-or-nothing
 IR lowering.
+
+Construction is decomposed into per-function work units.
+:func:`build_function_cfg` is the side-effect-free per-function entry
+point: a pure function of the binary image, the function identity and the
+construction options.  :func:`build_cfg` orchestrates it over waves of a
+discovery worklist (call targets found inside one wave seed the next),
+optionally consulting a content-addressed artifact cache before building
+and running independent constructions through a pluggable executor (see
+:mod:`repro.core.pipeline`).  Cached, parallel and serial runs produce
+identical CFGs: results are merged in deterministic worklist order, and
+cache hits are fresh unpickled copies.
 """
+
+import time
 
 from repro.analysis.cfg import (
     BRANCH,
@@ -63,60 +76,169 @@ class ConstructionOptions:
         self.resolve_jump_tables = resolve_jump_tables
 
 
-def build_cfg(binary, options=None, tracer=None, metrics=None):
-    """Build the whole-binary CFG.
+def build_function_cfg(binary, name, entry, range_end=None,
+                       pad_handlers=(), options=None, spec=None):
+    """Side-effect-free per-function CFG construction.
 
-    ``tracer``/``metrics`` (see :mod:`repro.obs`) record per-function
-    construction counters and one ``analysis-failure`` event per
-    contained failure, with its Figure-2 category.
+    A pure function of the binary image, the function identity
+    ``(name, entry, range_end, pad_handlers)`` and the construction
+    options: no shared state is read or written, so constructions for
+    different functions may run concurrently and their results may be
+    cached content-addressed.  Returns ``(fcfg, discovered_calls,
+    instruction_count)`` with the discovered call targets sorted.
     """
     options = options or ConstructionOptions()
-    tracer = tracer if tracer is not None else NULL_TRACER
-    metrics = metrics if metrics is not None else NULL_METRICS
-    spec = get_arch(binary.arch_name)
-    cfg = BinaryCFG(binary)
+    spec = spec if spec is not None else get_arch(binary.arch_name)
+    builder = _FunctionBuilder(
+        binary, spec, name, entry, range_end, pad_handlers, options
+    )
+    fcfg, discovered_calls = builder.build()
+    if name in RUNTIME_SUPPORT_FUNCS:
+        fcfg.is_runtime_support = True
+    return fcfg, tuple(sorted(discovered_calls)), len(builder.insn_at)
 
+
+def _construct_work(task):
+    """Executor task: build one function's CFG, timed.
+
+    Module-level (not a closure) so a process pool can pickle it; the
+    result travels back as plain picklable objects.
+    """
+    binary, name, entry, range_end, pad_handlers, options = task
+    t0 = time.perf_counter()
+    result = build_function_cfg(binary, name, entry, range_end,
+                                pad_handlers, options)
+    return result, time.perf_counter() - t0
+
+
+def initial_seeds(binary):
+    """Construction seeds: ``{entry: (name, range_end)}`` from symbols
+    plus the binary entry point."""
     seeds = {}
     for sym in binary.function_symbols():
         seeds[sym.addr] = (sym.name, sym.end if sym.size else None)
     if binary.entry not in seeds:
         seeds[binary.entry] = ("_entry", None)
+    return seeds
 
+
+def build_cfg(binary, options=None, tracer=None, metrics=None,
+              cache=None, executor=None):
+    """Build the whole-binary CFG by orchestrating per-function units.
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) record per-function
+    construction counters, a ``pipeline-analysis`` span per work unit,
+    and one ``analysis-failure`` event per contained failure, with its
+    Figure-2 category.
+
+    ``cache`` is an :class:`repro.core.cache.ArtifactCache` (or an
+    already-bound :class:`repro.core.pipeline.AnalysisCacheView`):
+    per-function constructions are looked up by content digest before
+    being built, so a second run over an unchanged binary performs zero
+    constructions.  ``executor`` (see
+    :func:`repro.core.pipeline.make_executor`) runs the independent
+    constructions of each discovery wave concurrently; the worklist
+    barrier between waves is the only serial cross-function state.
+    """
+    from repro.core.cache import MISS
+    from repro.core.pipeline import (
+        AnalysisCacheView,
+        SerialExecutor,
+        analysis_cache_view,
+        record_completed_span,
+        work_item_for,
+    )
+
+    options = options or ConstructionOptions()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
+    if cache is not None and not isinstance(cache, AnalysisCacheView):
+        cache = analysis_cache_view(cache, binary, binary.arch_name,
+                                    options, metrics)
+    if executor is None:
+        executor = SerialExecutor()
+    cfg = BinaryCFG(binary)
+
+    seeds = initial_seeds(binary)
     pads_by_owner = _landing_pads_by_owner(binary, seeds)
 
-    worklist = sorted(seeds)
+    pending = sorted(seeds)
     visited = set()
-    while worklist:
-        entry = worklist.pop(0)
-        if entry in visited:
-            continue
-        visited.add(entry)
-        name, range_end = seeds[entry]
-        builder = _FunctionBuilder(
-            binary, spec, name, entry, range_end,
-            pads_by_owner.get(entry, ()), options,
-        )
-        fcfg, discovered_calls = builder.build()
-        if name in RUNTIME_SUPPORT_FUNCS:
-            fcfg.is_runtime_support = True
-        cfg.add(fcfg)
-        metrics.inc("cfg.functions")
-        if fcfg.failed is not None:
-            metrics.inc("cfg.functions_failed")
-            tracer.event(
-                "analysis-failure",
-                function=fcfg.name,
-                reason=fcfg.failed,
-                category=classify_failure(fcfg.failed),
+    while pending:
+        wave = [e for e in pending if e not in visited]
+        visited.update(wave)
+        pending = []
+
+        items = []
+        for entry in wave:
+            name, range_end = seeds[entry]
+            items.append(work_item_for(
+                binary, name, entry, range_end,
+                pads_by_owner.get(entry, ()),
+            ))
+
+        # Consult the cache first; only misses go to the executor.
+        hits = {}
+        keys = {}
+        misses = []
+        for item in items:
+            if cache is None:
+                misses.append(item)
+                continue
+            value, key, seconds = cache.fetch("cfg", item.key_parts())
+            keys[item.entry] = key
+            if value is MISS:
+                misses.append(item)
+            else:
+                hits[item.entry] = value
+                item.seconds["cfg"] = seconds
+        computed = executor.map(_construct_work, [
+            (binary, item.name, item.entry, item.range_end,
+             item.pad_handlers, options)
+            for item in misses
+        ])
+        for item, (result, seconds) in zip(misses, computed):
+            metrics.inc("cfg.constructions")
+            item.cached["cfg"] = False
+            item.seconds["cfg"] = seconds
+            hits[item.entry] = result
+            if cache is not None:
+                cache.store("cfg", keys[item.entry], result, seconds)
+
+        # Merge in wave order — deterministic whatever executor ran.
+        for item in items:
+            fcfg, discovered_calls, insn_count = hits[item.entry]
+            item.cfg = fcfg
+            item.discovered_calls = discovered_calls
+            item.instructions = insn_count
+            item.cached.setdefault("cfg", True)
+            cfg.add(fcfg)
+            cfg.work_items[item.entry] = item
+            cached = item.cached["cfg"]
+            record_completed_span(
+                tracer, "pipeline-analysis",
+                0.0 if cached else item.seconds.get("cfg", 0.0),
+                function=item.name, artifact="cfg", cached=cached,
+                **({"seconds_saved": item.seconds["cfg"]} if cached
+                   else {}),
             )
-        else:
-            metrics.inc("cfg.blocks", len(fcfg.blocks))
-            metrics.inc("cfg.instructions", len(builder.insn_at))
-            metrics.inc("cfg.jump_tables", len(fcfg.jump_tables))
-        for target in discovered_calls:
-            if target not in seeds:
-                seeds[target] = (f"func_{target:x}", None)
-                worklist.append(target)
+            metrics.inc("cfg.functions")
+            if fcfg.failed is not None:
+                metrics.inc("cfg.functions_failed")
+                tracer.event(
+                    "analysis-failure",
+                    function=fcfg.name,
+                    reason=fcfg.failed,
+                    category=classify_failure(fcfg.failed),
+                )
+            else:
+                metrics.inc("cfg.blocks", len(fcfg.blocks))
+                metrics.inc("cfg.instructions", insn_count)
+                metrics.inc("cfg.jump_tables", len(fcfg.jump_tables))
+            for target in discovered_calls:
+                if target not in seeds:
+                    seeds[target] = (f"func_{target:x}", None)
+                    pending.append(target)
     tracer.count("functions", len(visited))
     return cfg
 

@@ -26,7 +26,19 @@ Imprecision verdicts (any of which forbid func-ptr mode):
   construction — ``func-ptr`` mode fails on Docker because of these);
 * pointer arithmetic with a non-constant amount;
 * the same slot written with conflicting deltas.
+
+Like CFG construction, the analysis decomposes into per-function work
+units: :func:`scan_function_pointers` is the side-effect-free
+per-function entry point (a pure function of the function's CFG plus
+the whole-binary inputs it closes over — the entry set, text range and
+known data slots, all themselves determined by the binary image), and
+:func:`analyze_function_pointers` orchestrates it with optional
+content-addressed caching and a pluggable executor, merging partial
+results in address order so every execution strategy yields the same
+verdict.
 """
+
+import time
 
 from dataclasses import dataclass, field
 
@@ -73,20 +85,95 @@ class FuncPtrAnalysis:
     reasons: list = field(default_factory=list)
 
 
+@dataclass
+class FunctionPtrScan:
+    """Per-function partial result (the cacheable ``funcptr`` artifact)."""
+
+    code_defs: list = field(default_factory=list)
+    derived_defs: list = field(default_factory=list)
+    reasons: list = field(default_factory=list)
+
+
 #: Maximum tolerated constant pointer adjustment (Go uses +1).
 MAX_DELTA = 8
 
 
-def analyze_function_pointers(binary, cfg, spec):
-    """Whole-binary function-pointer analysis; returns FuncPtrAnalysis."""
+def scan_function_pointers(binary, spec, fcfg, entries, text_lo, text_hi,
+                           known_slots):
+    """Side-effect-free per-function pointer scan.
+
+    Pure in its arguments: reads the function's blocks and the binary
+    image, writes nothing shared.  Returns a :class:`FunctionPtrScan`.
+    """
+    partial = FunctionPtrScan()
+    resolved_dispatches = {jt.dispatch_addr for jt in fcfg.jump_tables}
+    for block in fcfg.sorted_blocks():
+        _scan_block(binary, spec, block, entries, text_lo, text_hi,
+                    known_slots, resolved_dispatches, partial)
+    return partial
+
+
+def _funcptr_work(task):
+    """Executor task: scan one function, timed (module-level so a
+    process pool can pickle it)."""
+    binary, spec, fcfg, entries, text_lo, text_hi, known_slots = task
+    t0 = time.perf_counter()
+    partial = scan_function_pointers(binary, spec, fcfg, entries,
+                                     text_lo, text_hi, known_slots)
+    return partial, time.perf_counter() - t0
+
+
+def analyze_function_pointers(binary, cfg, spec, cache=None,
+                              executor=None, tracer=None, metrics=None):
+    """Whole-binary function-pointer analysis; returns FuncPtrAnalysis.
+
+    The whole-binary data-slot scan and each function's code scan are
+    separately cacheable artifacts (``cache`` is an
+    :class:`repro.core.cache.ArtifactCache` or a bound
+    :class:`repro.core.pipeline.AnalysisCacheView`); per-function scans
+    run through ``executor`` when given.  Partial results merge in
+    address order, so the outcome is independent of executor and cache
+    state.
+    """
+    from repro.core.cache import MISS
+    from repro.core.pipeline import (
+        AnalysisCacheView,
+        SerialExecutor,
+        analysis_cache_view,
+    )
+    from repro.obs import NULL_METRICS, NULL_TRACER
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
+    if cache is not None and not isinstance(cache, AnalysisCacheView):
+        cache = analysis_cache_view(cache, binary, binary.arch_name,
+                                    None, metrics)
+    if executor is None:
+        executor = SerialExecutor()
+
     entries = _function_entries(binary, cfg)
     text_lo, text_hi = binary.metadata.get(
         "text_range", _text_range(binary)
     )
     result = FuncPtrAnalysis(precise=True)
 
-    _scan_data_slots(binary, entries, text_lo, text_hi, result)
-    _scan_code(binary, cfg, spec, entries, text_lo, text_hi, result)
+    # Whole-binary data-slot scan: one artifact, serial by nature (it
+    # walks relocations and writable sections, not functions).
+    data_key = None
+    if cache is not None:
+        value, data_key, _seconds = cache.fetch("funcptr-data", ("data",))
+        if value is not MISS:
+            result.data_defs = value
+        else:
+            t0 = time.perf_counter()
+            _scan_data_slots(binary, entries, text_lo, text_hi, result)
+            cache.store("funcptr-data", data_key, result.data_defs,
+                        time.perf_counter() - t0)
+    else:
+        _scan_data_slots(binary, entries, text_lo, text_hi, result)
+
+    _scan_code(binary, cfg, spec, entries, text_lo, text_hi, result,
+               cache=cache, executor=executor, tracer=tracer)
 
     # Conflicting deltas through one slot make redirection ambiguous.
     deltas = {}
@@ -153,20 +240,65 @@ def _scan_data_slots(binary, entries, text_lo, text_hi, result):
                 )
 
 
-def _scan_code(binary, cfg, spec, entries, text_lo, text_hi, result):
-    """Per-block forward scan: code-site pointer defs and derived flows."""
-    known_slots = {d.slot for d in result.data_defs}
-    resolved_dispatches = {
-        jt.dispatch_addr
-        for fcfg in cfg
-        for jt in fcfg.jump_tables
-    }
-    for fcfg in cfg:
-        if not fcfg.ok:
-            continue
-        for block in fcfg.sorted_blocks():
-            _scan_block(binary, spec, block, entries, text_lo, text_hi,
-                        known_slots, resolved_dispatches, result)
+def _scan_code(binary, cfg, spec, entries, text_lo, text_hi, result,
+               cache=None, executor=None, tracer=None):
+    """Per-function code scans, cached and executor-driven, merged in
+    address order into ``result``."""
+    from repro.core.cache import MISS
+    from repro.core.pipeline import (
+        SerialExecutor,
+        record_completed_span,
+    )
+    from repro.obs import NULL_TRACER
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if executor is None:
+        executor = SerialExecutor()
+
+    known_slots = frozenset(d.slot for d in result.data_defs)
+    functions = [f for f in cfg.sorted_functions() if f.ok]
+
+    partials = {}
+    pending = []
+    keys = {}
+    for fcfg in functions:
+        if cache is not None:
+            item = cfg.work_items.get(fcfg.entry)
+            parts = (item.key_parts() if item is not None
+                     else (fcfg.name, fcfg.entry, fcfg.range_end))
+            value, key, seconds = cache.fetch("funcptr-fn", parts)
+            keys[fcfg.entry] = key
+            if value is not MISS:
+                partials[fcfg.entry] = (value, seconds, True)
+                continue
+        pending.append(fcfg)
+
+    tasks = [
+        (binary, spec, fcfg, entries, text_lo, text_hi, known_slots)
+        for fcfg in pending
+    ]
+    for fcfg, (partial, seconds) in zip(
+            pending, executor.map(_funcptr_work, tasks)):
+        partials[fcfg.entry] = (partial, seconds, False)
+        if cache is not None:
+            cache.store("funcptr-fn", keys[fcfg.entry], partial, seconds)
+
+    # Deterministic merge: address order, whatever the executor did.
+    for fcfg in functions:
+        partial, seconds, cached = partials[fcfg.entry]
+        result.code_defs.extend(partial.code_defs)
+        result.derived_defs.extend(partial.derived_defs)
+        result.reasons.extend(partial.reasons)
+        item = cfg.work_items.get(fcfg.entry)
+        if item is not None:
+            item.funcptr = partial
+            item.cached["funcptr-fn"] = cached
+            item.seconds["funcptr-fn"] = seconds
+        record_completed_span(
+            tracer, "pipeline-analysis", 0.0 if cached else seconds,
+            function=fcfg.name, artifact="funcptr", cached=cached,
+            **({"seconds_saved": seconds} if cached else {}),
+        )
 
 
 def _scan_block(binary, spec, block, entries, text_lo, text_hi,

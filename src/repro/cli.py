@@ -7,6 +7,9 @@ Examples::
         --mode func-ptr --scorch -o sgcc.rw
     python -m repro rewrite --workload 602.sgcc_s --mode jt \\
         --profile --trace sgcc-trace.json
+    python -m repro rewrite --workload 602.sgcc_s --jobs 4 \\
+        --cache-dir .repro-cache -o sgcc.rw
+    python -m repro batch 619.lbm_s 602.sgcc_s --jobs 4 --repeat 2
     python -m repro run sgcc.rw
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
@@ -15,8 +18,10 @@ Examples::
 
 import argparse
 import sys
+import time
 
 from repro.core import (
+    ArtifactCache,
     EmptyInstrumentation,
     CountingInstrumentation,
     RewriteMode,
@@ -43,6 +48,13 @@ from repro.toolchain.workloads import (
 )
 from repro.util.errors import ReproError
 
+#: Exit codes: distinct classes so scripts can tell *what* failed.
+#: 1 stays behavioural divergence; 2 stays diff-run refusal.
+EXIT_DIVERGED = 1
+EXIT_DIFF_REFUSED = 2
+EXIT_LOAD_ERROR = 3
+EXIT_REWRITE_ERROR = 4
+
 _APP_WORKLOADS = {
     "libxul_like": firefox_like,
     "docker_like": docker_like,
@@ -50,18 +62,59 @@ _APP_WORKLOADS = {
 }
 
 
+class CliError(Exception):
+    """A user-facing failure with its exit code; caught in :func:`main`."""
+
+    def __init__(self, message, exit_code):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
 def _load_workload(name, arch, pie=False):
     if name in _APP_WORKLOADS:
         if arch != "x86":
             # As in the paper: the browser/Docker/driver experiments run
             # on the x86-64 machine (Section A.3.2).
-            raise SystemExit(f"{name} is an x86-only workload")
+            raise CliError(f"{name} is an x86-only workload",
+                           EXIT_LOAD_ERROR)
         return _APP_WORKLOADS[name](arch)
     if name in SPEC_BENCHMARK_NAMES:
         return build_workload(spec_workload(name, arch, pie=pie), arch)
-    raise SystemExit(
-        f"unknown workload {name!r}; see `python -m repro list`"
+    raise CliError(
+        f"unknown workload {name!r}; see `python -m repro list`",
+        EXIT_LOAD_ERROR,
     )
+
+
+def _read_binary(path):
+    """Load a binary image from disk (shared by run/diff-run/layout)."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc}", EXIT_LOAD_ERROR)
+    try:
+        return Binary.from_bytes(data)
+    except Exception as exc:
+        raise CliError(f"{path} is not a repro binary image: {exc}",
+                       EXIT_LOAD_ERROR)
+
+
+def _make_cache(args):
+    """The artifact cache a rewrite/batch command asked for (or None)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ArtifactCache(directory=getattr(args, "cache_dir", None))
+
+
+def _add_pipeline_args(parser):
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run per-function analyses on N threads")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persist analysis artifacts under DIR "
+                             "(shared across invocations)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the analysis-artifact cache")
 
 
 def cmd_list(args):
@@ -92,19 +145,21 @@ def cmd_rewrite(args):
     observing = args.profile or args.trace
     tracer = Tracer(name=f"rewrite:{args.workload}") if observing \
         else None
-    metrics = Metrics() if observing else None
+    metrics = Metrics() if (observing or not args.no_cache) else None
+    cache = _make_cache(args)
     try:
         rewritten, report, runtime = rewrite_binary(
             binary, RewriteMode.parse(args.mode),
             instrumentation=instrumentation,
             scorch_original=args.scorch,
             tracer=tracer, metrics=metrics,
+            cache=cache, jobs=args.jobs,
         )
     except ReproError as exc:
         print(f"rewrite refused: {exc}", file=sys.stderr)
         if args.profile and tracer is not None:
             print(render_profile(tracer), file=sys.stderr)
-        return 1
+        return EXIT_REWRITE_ERROR
     if args.output:
         with open(args.output, "wb") as f:
             f.write(rewritten.to_bytes())
@@ -115,6 +170,11 @@ def cmd_rewrite(args):
     print(f"size increase : {report.size_increase:+.1%}")
     print(f"trampolines   : " + ", ".join(
         f"{k}={v}" for k, v in report.trampolines.items() if v))
+    if cache is not None and metrics is not None:
+        counters = metrics.counter_values()
+        print(f"cache         : {counters.get('cache.hits', 0)} hits, "
+              f"{counters.get('cache.misses', 0)} misses "
+              f"(jobs={args.jobs})")
     if report.failed_functions:
         print(f"skipped       : " + ", ".join(
             name for name, _ in report.failed_functions))
@@ -140,9 +200,60 @@ def cmd_rewrite(args):
     return 1 if diverged else 0
 
 
+def cmd_batch(args):
+    """Rewrite a list of workloads through one shared artifact cache.
+
+    The batch is where the incremental pipeline pays off: every workload
+    after the first (and every ``--repeat`` round) reuses cached
+    per-function artifacts, and ``--jobs N`` spreads the remaining
+    analyses over a pool.
+    """
+    cache = _make_cache(args)
+    failures = 0
+    runs = []
+    loaded = {}
+    for round_no in range(args.repeat):
+        for name in args.workloads:
+            if name not in loaded:
+                loaded[name] = _load_workload(name, args.arch, args.pie)
+            _, binary = loaded[name]
+            metrics = Metrics()
+            t0 = time.perf_counter()
+            try:
+                rewritten, report, _ = rewrite_binary(
+                    binary, RewriteMode.parse(args.mode),
+                    metrics=metrics, cache=cache, jobs=args.jobs,
+                )
+            except ReproError as exc:
+                failures += 1
+                print(f"{name:<16} FAILED: {exc}", file=sys.stderr)
+                continue
+            elapsed = time.perf_counter() - t0
+            counters = metrics.counter_values()
+            hits = counters.get("cache.hits", 0)
+            misses = counters.get("cache.misses", 0)
+            saved = metrics.as_dict().get("histograms", {}).get(
+                "cache.seconds_saved", {}).get("sum", 0.0)
+            runs.append((name, elapsed, hits, misses, saved))
+            print(f"{name:<16} {elapsed:7.3f}s  coverage "
+                  f"{report.coverage:6.2%}  cache {hits}/{hits + misses} "
+                  f"hits  saved {saved:.3f}s")
+            if args.out_dir:
+                import os
+                os.makedirs(args.out_dir, exist_ok=True)
+                out_path = f"{args.out_dir}/{name}.r{round_no}.rw"
+                with open(out_path, "wb") as f:
+                    f.write(rewritten.to_bytes())
+    if cache is not None:
+        stats = cache.stats()
+        print(f"[cache: {stats['entries']} entries, {stats['hits']} hits"
+              f" / {stats['misses']} misses, {stats['stores']} stores]",
+              file=sys.stderr)
+    return EXIT_REWRITE_ERROR if failures else 0
+
+
 def cmd_run(args):
-    with open(args.binary, "rb") as f:
-        binary = Binary.from_bytes(f.read())
+    binary = _read_binary(args.binary)
     runtime = None
     if "rewrite" in binary.metadata:
         runtime = RuntimeLibrary.from_binary(binary)
@@ -163,16 +274,14 @@ def cmd_run(args):
 
 def cmd_diff_run(args):
     from repro.eval import differential_run, render_forensics
-    with open(args.original, "rb") as f:
-        original = Binary.from_bytes(f.read())
-    with open(args.rewritten, "rb") as f:
-        rewritten = Binary.from_bytes(f.read())
+    original = _read_binary(args.original)
+    rewritten = _read_binary(args.rewritten)
     try:
         bundle = differential_run(original, rewritten, ring=args.ring,
                                   max_steps=args.max_steps)
     except ReproError as exc:
         print(f"diff-run refused: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_DIFF_REFUSED
     print(render_forensics(bundle))
     if args.json:
         import json
@@ -184,9 +293,7 @@ def cmd_diff_run(args):
 
 
 def cmd_layout(args):
-    with open(args.binary, "rb") as f:
-        binary = Binary.from_bytes(f.read())
-    print(section_layout_report(binary))
+    print(section_layout_report(_read_binary(args.binary)))
     return 0
 
 
@@ -284,7 +391,26 @@ def build_parser():
     p.add_argument("--trace", metavar="FILE",
                    help="write the JSON trace tree to FILE")
     p.add_argument("-o", "--output")
+    _add_pipeline_args(p)
     p.set_defaults(func=cmd_rewrite)
+
+    p = sub.add_parser(
+        "batch",
+        help="rewrite several workloads through one shared artifact "
+             "cache (optionally in parallel)",
+    )
+    p.add_argument("workloads", nargs="+", metavar="WORKLOAD")
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--pie", action="store_true")
+    p.add_argument("--mode", default="jt",
+                   choices=[m.value for m in RewriteMode])
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="rewrite the whole list N times (cache-reuse "
+                        "rounds)")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="write rewritten binaries under DIR")
+    _add_pipeline_args(p)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("run", help="run a (possibly rewritten) binary")
     p.add_argument("binary")
@@ -331,7 +457,11 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 """Incremental CFG patching — the paper's contribution."""
 
+from repro.core.cache import ARTIFACT_VERSIONS, ArtifactCache, stable_digest
 from repro.core.cfl import CflAnalysis
 from repro.core.instrumentation import (
     CallOutCountingInstrumentation,
@@ -9,9 +10,19 @@ from repro.core.instrumentation import (
 )
 from repro.core.layout import prepare_output, section_layout_report
 from repro.core.modes import RewriteMode
+from repro.core.pipeline import (
+    AnalysisCacheView,
+    FunctionWorkItem,
+    PoolExecutor,
+    SerialExecutor,
+    analysis_cache_view,
+    make_executor,
+)
 from repro.core.placement import (
+    PlacementFragment,
     PlacementResult,
     Superblock,
+    place_in_function,
     place_trampolines,
 )
 from repro.core.relocate import Relocator
@@ -39,8 +50,19 @@ __all__ = [
     "rewrite_binary",
     "RuntimeLibrary",
     "CflAnalysis",
+    "ArtifactCache",
+    "ARTIFACT_VERSIONS",
+    "stable_digest",
+    "AnalysisCacheView",
+    "analysis_cache_view",
+    "FunctionWorkItem",
+    "SerialExecutor",
+    "PoolExecutor",
+    "make_executor",
     "place_trampolines",
+    "place_in_function",
     "PlacementResult",
+    "PlacementFragment",
     "Superblock",
     "Relocator",
     "ScratchPool",

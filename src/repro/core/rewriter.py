@@ -33,6 +33,7 @@ from repro.core.cfl import CflAnalysis
 from repro.core.instrumentation import EmptyInstrumentation
 from repro.core.layout import prepare_output
 from repro.core.modes import RewriteMode
+from repro.core.pipeline import analysis_cache_view, make_executor
 from repro.core.placement import padding_ranges, place_trampolines
 from repro.core.relocate import Relocator
 from repro.core.runtime_lib import RuntimeLibrary, pack_addr_map
@@ -124,7 +125,8 @@ class IncrementalRewriter:
                  construction_options=None, scorch_original=False,
                  call_emulation=False, cfg_hook=None,
                  function_order="address", block_order="address",
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, cache=None, executor=None,
+                 jobs=1, executor_kind="thread"):
         self.mode = (RewriteMode.parse(mode) if isinstance(mode, str)
                      else mode)
         self.instrumentation = instrumentation or EmptyInstrumentation()
@@ -133,6 +135,14 @@ class IncrementalRewriter:
         #: observability sinks (:mod:`repro.obs`); no-ops by default
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: artifact cache (:class:`repro.core.cache.ArtifactCache`) the
+        #: per-function analyses consult; None disables caching
+        self.cache = cache
+        #: executor for per-function analyses; when None one is created
+        #: per rewrite from ``jobs``/``executor_kind`` and closed after
+        self.executor = executor
+        self.jobs = jobs
+        self.executor_kind = executor_kind
         #: emission order for the BOLT-comparison experiments (Section
         #: 8.3): "address" or "reverse"
         self.function_order = function_order
@@ -162,9 +172,40 @@ class IncrementalRewriter:
     def _rewrite_traced(self, binary, tr, metrics):
         spec = get_arch(binary.arch_name)
 
+        # The pipeline substrate for this rewrite: one cache view whose
+        # prefix pins everything invariant across its artifacts (image,
+        # arch, construction options), and one executor for per-function
+        # analyses.  Downstream artifacts (funcptr, placement) depend on
+        # the CFG as *constructed*, so an arbitrary cfg_hook mutation
+        # disables their caching; CFG artifacts themselves stay valid
+        # because the hook applies after construction.
+        pipeline_cache = None
+        if self.cache is not None:
+            pipeline_cache = analysis_cache_view(
+                self.cache, binary, binary.arch_name,
+                self.construction_options, metrics,
+            )
+        downstream_cache = (pipeline_cache if self.cfg_hook is None
+                            else None)
+        executor = self.executor
+        own_executor = executor is None
+        if own_executor:
+            executor = make_executor(self.jobs, self.executor_kind)
+        try:
+            return self._rewrite_staged(
+                binary, tr, metrics, spec, pipeline_cache,
+                downstream_cache, executor,
+            )
+        finally:
+            if own_executor:
+                executor.close()
+
+    def _rewrite_staged(self, binary, tr, metrics, spec, pipeline_cache,
+                        downstream_cache, executor):
         with tr.span("cfg-construction"):
             cfg = build_cfg(binary, self.construction_options,
-                            tracer=tr, metrics=metrics)
+                            tracer=tr, metrics=metrics,
+                            cache=pipeline_cache, executor=executor)
             if self.cfg_hook is not None:
                 cfg = self.cfg_hook(cfg) or cfg
             self._pre_checks(binary, cfg)
@@ -181,7 +222,10 @@ class IncrementalRewriter:
                 )
 
         with tr.span("funcptr-analysis"):
-            funcptrs = analyze_function_pointers(binary, cfg, spec)
+            funcptrs = analyze_function_pointers(
+                binary, cfg, spec, cache=downstream_cache,
+                executor=executor, tracer=tr, metrics=metrics,
+            )
             tr.count("data_defs", len(funcptrs.data_defs))
             tr.count("code_defs", len(funcptrs.code_defs))
             tr.count("derived_defs", len(funcptrs.derived_defs))
@@ -223,6 +267,15 @@ class IncrementalRewriter:
             )
 
         with tr.span("trampoline-placement"):
+            # Placement fragments depend on mode-level inputs the run
+            # prefix does not pin, so extend it before handing the view
+            # to the placement strategy.
+            self._placement_cache = None
+            if downstream_cache is not None:
+                self._placement_cache = downstream_cache.extend(
+                    (str(self.mode), bool(self.call_emulation),
+                     tuple(sorted(relocated_set)))
+                )
             placement = self._compute_placement(cfg, cfl)
             cfl_blocks = sum(len(v)
                              for v in placement.cfl_by_function.values())
@@ -357,7 +410,11 @@ class IncrementalRewriter:
     def _compute_placement(self, cfg, cfl):
         """Trampoline placement strategy (Section 4.2); the default is
         CFL-blocks-only with superblock extension."""
-        return place_trampolines(cfg, cfl)
+        return place_trampolines(
+            cfg, cfl,
+            cache=getattr(self, "_placement_cache", None),
+            tracer=self.tracer,
+        )
 
     def _relocator_kwargs(self):
         """Extra keyword arguments for the Relocator."""
@@ -510,10 +567,20 @@ def _subtract_ranges(start, end, keep_sorted):
 
 
 def rewrite_binary(binary, mode=RewriteMode.JT, instrumentation=None,
-                   **kwargs):
-    """One-call convenience: returns (rewritten, report, runtime_lib)."""
+                   tracer=None, metrics=None, cache=None, executor=None,
+                   jobs=1, executor_kind="thread", **kwargs):
+    """One-call convenience: returns (rewritten, report, runtime_lib).
+
+    Observability sinks and pipeline substrate are explicit (rather than
+    swallowed by ``**kwargs``) so call sites get signature help and typos
+    fail loudly; remaining keywords forward to
+    :class:`IncrementalRewriter`.
+    """
     rewriter = IncrementalRewriter(mode=mode,
                                    instrumentation=instrumentation,
+                                   tracer=tracer, metrics=metrics,
+                                   cache=cache, executor=executor,
+                                   jobs=jobs, executor_kind=executor_kind,
                                    **kwargs)
     rewritten, report = rewriter.rewrite(binary)
     return rewritten, report, rewriter.runtime_library(rewritten)

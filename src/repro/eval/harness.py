@@ -50,6 +50,11 @@ class ToolRun:
     ra_translations: int = 0
     dyn_translations: int = 0
     unwound_frames: int = 0
+    #: artifact-cache accounting for this run (deltas over the shared
+    #: metrics registry, so a reused registry still reports per-run)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    analysis_seconds_saved: float = 0.0
     report: object = field(default=None, repr=False)
     #: the :class:`repro.obs.Tracer` that observed this run (None when
     #: tracing was not requested)
@@ -93,9 +98,24 @@ def runtime_for(tool, rewriter, rewritten):
     return None
 
 
+def _cache_snapshot(metrics):
+    """(hits, misses, seconds_saved) so far in ``metrics``; per-run
+    numbers are deltas between two snapshots (registries are often
+    shared across a whole evaluation)."""
+    if not hasattr(metrics, "counter_values"):
+        return (0, 0, 0.0)
+    counters = metrics.counter_values()
+    hist = metrics.as_dict().get("histograms", {})
+    return (
+        counters.get("cache.hits", 0),
+        counters.get("cache.misses", 0),
+        hist.get("cache.seconds_saved", {}).get("sum", 0.0),
+    )
+
+
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                   instrumentation=None, tracer=None, metrics=None,
-                  flight=None, **tool_kwargs):
+                  flight=None, cache=None, jobs=None, **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
@@ -108,6 +128,10 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     :class:`repro.obs.FlightRecorder` as ``flight`` to record the
     emulated execution (block ring, trampoline hits, RA translations);
     it comes back on :attr:`ToolRun.flight`.
+
+    ``cache`` (an :class:`repro.core.ArtifactCache`, typically shared
+    across many evaluations) and ``jobs`` feed the incremental pipeline;
+    the run's own hit/miss/time-saved deltas come back on the ToolRun.
     """
     attach = tracer if tracer is not None else None
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -119,7 +143,14 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         # tool (incl. baselines with fixed signatures) is observable.
         rewriter.tracer = tracer
         rewriter.metrics = metrics
+        if cache is not None:
+            rewriter.cache = cache
+        if jobs is not None:
+            rewriter.jobs = jobs
+        before = _cache_snapshot(metrics)
         rewritten, report = rewriter.rewrite(binary)
+        cache_stats = [b - a for a, b in
+                       zip(before, _cache_snapshot(metrics))]
         runtime = runtime_for(tool, rewriter, rewritten)
         result = run_binary(rewritten, runtime_lib=runtime,
                             tracer=tracer, metrics=metrics,
@@ -137,7 +168,9 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         metrics.inc("harness.wrong_output")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
                        error="wrong output", report=report, trace=attach,
-                       flight=flight)
+                       flight=flight, cache_hits=cache_stats[0],
+                       cache_misses=cache_stats[1],
+                       analysis_seconds_saved=cache_stats[2])
     return ToolRun(
         tool=tool,
         benchmark=benchmark,
@@ -152,6 +185,9 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         ra_translations=result.counters.get("ra_translations", 0),
         dyn_translations=result.counters.get("dyn_translations", 0),
         unwound_frames=result.counters.get("unwound_frames", 0),
+        cache_hits=cache_stats[0],
+        cache_misses=cache_stats[1],
+        analysis_seconds_saved=cache_stats[2],
         report=report,
         trace=attach,
         flight=flight,

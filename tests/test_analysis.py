@@ -7,11 +7,15 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis import (
     BinaryCFG,
     ConstructionOptions,
+    FIG2_OVERAPPROX,
+    FIG2_REPORT,
+    FIG2_UNDERAPPROX,
     FailurePlan,
     JumpTable,
     LivenessAnalysis,
     analyze_function_pointers,
     build_cfg,
+    classify_failure,
     inject_failures,
 )
 from repro.analysis.cfg import CALL_FALLTHROUGH, JUMP_TABLE, TAIL_CALL
@@ -275,6 +279,51 @@ class TestFailureInjection:
         hidden = fcfg.injected_hidden_target
         for jt in fcfg.jump_tables:
             assert hidden not in jt.targets
+
+
+class TestClassifyFailure:
+    """classify_failure maps reason strings onto Figure-2 categories."""
+
+    def test_reporting_failure_reasons(self):
+        # The reasons construction actually produces when it gives up.
+        for reason in (
+            "f: undecodable bytes at 0x401000",
+            "f: unresolved indirect jump with undiscovered code in the "
+            "function body",
+            "f: control flow reaches non-code address 0x5000",
+            "injected analysis reporting failure",
+        ):
+            assert classify_failure(reason) == FIG2_REPORT
+
+    def test_overapproximation_reasons(self):
+        for reason in (
+            "over-approximated incoming edge at 0x401234",
+            "overapproximation injected",
+            "infeasible edge into block 0x400f00",
+        ):
+            assert classify_failure(reason) == FIG2_OVERAPPROX
+
+    def test_underapproximation_reasons(self):
+        for reason in (
+            "under-approximated jump table at 0x402000",
+            "underapprox: table truncated",
+            "missed edge to 0x402040",
+            "hidden target 0x402080",
+        ):
+            assert classify_failure(reason) == FIG2_UNDERAPPROX
+
+    def test_unknown_exception_text_falls_back_to_report(self):
+        # A stray exception rendered as "Type: message" has no category
+        # marker; skipping the function is by definition a reporting
+        # failure, so that is the fallback.
+        assert classify_failure("ZeroDivisionError: boom") == FIG2_REPORT
+        assert classify_failure("") == FIG2_REPORT
+        assert classify_failure(None) == FIG2_REPORT
+
+    def test_failed_function_category_property(self):
+        from repro.core import FailedFunction
+        rec = FailedFunction("f", "injected analysis reporting failure")
+        assert rec.category == FIG2_REPORT
 
 
 class TestStrippedBinaries:

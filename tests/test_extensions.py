@@ -140,10 +140,10 @@ class TestCli:
         assert ".instr" in capsys.readouterr().out
 
     def test_rewrite_refusal_exit_code(self, capsys):
-        from repro.cli import main
+        from repro.cli import EXIT_REWRITE_ERROR, main
         rc = main(["rewrite", "--workload", "docker_like",
                    "--mode", "func-ptr"])
-        assert rc == 1
+        assert rc == EXIT_REWRITE_ERROR
         assert "refused" in capsys.readouterr().err
 
     def test_tables(self, capsys):
@@ -162,8 +162,9 @@ class TestCli:
         binary = Binary.from_bytes(out_file.read_bytes())
         assert binary.name.startswith("619.lbm_s")
 
-    def test_app_workloads_x86_only(self):
-        from repro.cli import main
-        with pytest.raises(SystemExit):
-            main(["rewrite", "--workload", "docker_like",
-                  "--arch", "ppc64"])
+    def test_app_workloads_x86_only(self, capsys):
+        from repro.cli import EXIT_LOAD_ERROR, main
+        rc = main(["rewrite", "--workload", "docker_like",
+                   "--arch", "ppc64"])
+        assert rc == EXIT_LOAD_ERROR
+        assert "x86-only" in capsys.readouterr().err
