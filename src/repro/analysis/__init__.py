@@ -25,8 +25,13 @@ from repro.analysis.failures import (
     FIG2_REPORT,
     FIG2_UNDERAPPROX,
     FailurePlan,
+    WorkerCrash,
+    WorkerFaultInjector,
+    audit_jump_tables,
     classify_failure,
+    corrupt_cache_entries,
     inject_failures,
+    plan_chaos,
 )
 from repro.analysis.funcptr import (
     CodeConstDef,
@@ -58,6 +63,11 @@ __all__ = [
     "FailurePlan",
     "inject_failures",
     "classify_failure",
+    "audit_jump_tables",
+    "plan_chaos",
+    "corrupt_cache_entries",
+    "WorkerCrash",
+    "WorkerFaultInjector",
     "FIG2_CATEGORIES",
     "FIG2_REPORT",
     "FIG2_OVERAPPROX",

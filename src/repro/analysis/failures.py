@@ -1,4 +1,5 @@
-"""Failure injection for binary analysis (Figure 2).
+"""Failure injection, failure auditing, and the chaos harness's fault
+plans (Figure 2).
 
 The paper's failure-mode analysis distinguishes three ways CFG
 construction can go wrong and traces each to its rewriting consequence:
@@ -12,8 +13,24 @@ construction can go wrong and traces each to its rewriting consequence:
 
 :func:`inject_failures` perturbs a freshly built CFG accordingly so the
 Figure-2 experiment (and tests) can observe those exact consequences.
+:func:`audit_jump_tables` is the defensive counterpart: it re-derives
+every resolved jump table's targets from the binary image and reports
+disagreements, which is how the rewriter's degradation ladder *catches*
+an under-approximated table before it becomes wrong instrumentation.
+
+A :class:`FailurePlan` is also the unit of chaos the harness injects
+(``repro chaos``, ``evaluate_tool(faults=...)``): besides the three
+analysis perturbations it can crash executor workers
+(:class:`WorkerFaultInjector`), break the worker pool, and corrupt
+artifact-cache entries (:func:`corrupt_cache_entries`) — the full
+"everything that can go wrong at scale" menu, with the invariant under
+test being the paper's: the rewritten binary still behaves identically
+and only coverage is lost.
 """
 
+import threading
+
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import BRANCH, BasicBlock
@@ -38,18 +55,23 @@ def classify_failure(reason):
     the reason string.
     """
     text = (reason or "").lower()
-    if "over-approx" in text or "overapprox" in text \
-            or "infeasible edge" in text:
-        return FIG2_OVERAPPROX
+    # Under-approximation is checked first: on a mixed reason naming
+    # both an infeasible and a missed edge, the *dangerous* category
+    # (wrong instrumentation, Figure 2's bottom arrow) must win over the
+    # merely wasteful one.
     if "under-approx" in text or "underapprox" in text \
             or "missed edge" in text or "hidden target" in text:
         return FIG2_UNDERAPPROX
+    if "over-approx" in text or "overapprox" in text \
+            or "infeasible edge" in text:
+        return FIG2_OVERAPPROX
     return FIG2_REPORT
 
 
 @dataclass
 class FailurePlan:
-    """What to break, per function name."""
+    """What to break: analysis faults per function name, plus the
+    execution-substrate faults of the chaos harness."""
 
     #: functions whose analysis should report failure
     report: set = field(default_factory=set)
@@ -59,6 +81,27 @@ class FailurePlan:
     #: functions in which one real jump-table edge is hidden
     #: (under-approximation)
     underapproximate: set = field(default_factory=set)
+    #: number of executor work items that crash (once each) before
+    #: succeeding on retry
+    worker_crashes: int = 0
+    #: number of parallel batches whose pool "breaks"
+    #: (``BrokenProcessPool``) and must fall back to serial execution
+    pool_breaks: int = 0
+    #: number of artifact-cache entries to corrupt before rewriting
+    corrupt_cache: int = 0
+
+    @property
+    def injects_analysis_faults(self):
+        return bool(self.report or self.overapproximate
+                    or self.underapproximate)
+
+    def injector(self):
+        """A :class:`WorkerFaultInjector` for the plan's substrate
+        faults, or None when it has none."""
+        if not self.worker_crashes and not self.pool_breaks:
+            return None
+        return WorkerFaultInjector(crashes=self.worker_crashes,
+                                   pool_breaks=self.pool_breaks)
 
 
 def inject_failures(cfg, plan):
@@ -129,3 +172,175 @@ def _inject_underapprox(fcfg):
     raise AnalysisError(
         f"{fcfg.name}: no jump table available for under-approx injection"
     )
+
+
+# -- auditing (the degradation ladder's detector) ---------------------------
+
+
+def audit_jump_tables(binary, fcfg):
+    """Cross-check every resolved jump table against the image.
+
+    Re-reads each table's entries from the binary and recomputes the
+    target of every slot through the table's own ``tar`` expression.  A
+    disagreement with the analysis result means the CFG's view of the
+    table is wrong — a missed (hidden) edge, the under-approximation of
+    Figure 2 — and cloning that table, or trusting its target set for
+    CFL, would produce wrong instrumentation.
+
+    Returns a list of ``(reason, true_targets)`` pairs, one per
+    disagreeing table; ``true_targets`` is the target list as the image
+    actually encodes it (the repair input for the ladder's ``dir``
+    rung).  An unreadable table yields ``true_targets = None`` — nothing
+    to repair against, so the function can only be skipped.
+    """
+    findings = []
+    for table in fcfg.jump_tables:
+        true_targets = []
+        readable = True
+        for i in range(table.count):
+            try:
+                raw = binary.read(table.table_addr + i * table.entry_size,
+                                  table.entry_size)
+            except (KeyError, ValueError):
+                readable = False
+                break
+            x = int.from_bytes(bytes(raw), "little", signed=table.signed)
+            true_targets.append(table.tar(x))
+        if not readable:
+            findings.append((
+                f"jump table at {table.table_addr:#x} unreadable during "
+                f"audit (missed edge possible)", None,
+            ))
+            continue
+        if true_targets != list(table.targets):
+            hidden = sorted(set(true_targets) - set(table.targets))
+            shown = ", ".join(f"{t:#x}" for t in hidden[:3])
+            findings.append((
+                f"jump table at {table.table_addr:#x} disagrees with the "
+                f"image: hidden target(s) {shown or '(reordered)'} "
+                f"(missed edge)", true_targets,
+            ))
+    return findings
+
+
+# -- substrate fault injection (chaos harness) ------------------------------
+
+
+class WorkerCrash(RuntimeError):
+    """An injected worker crash (chaos harness): transient by design —
+    the executor's bounded serial retry succeeds, because executors
+    consult the injector only on a task's first attempt (and each raise
+    consumes one crash budget)."""
+
+
+class WorkerFaultInjector:
+    """Thread-safe budgets of executor faults to inject.
+
+    Executors (see :mod:`repro.core.pipeline`) consult this before
+    running work items: ``maybe_crash`` raises :class:`WorkerCrash` while
+    crash budget remains (one task each), ``maybe_break_pool`` raises
+    ``BrokenProcessPool`` while pool-break budget remains (one parallel
+    batch each).  Budgets are consumed by the *raise*, so the executor's
+    retry path observes a healthy worker — exactly the transient-fault
+    model the fault tolerance is built for.
+    """
+
+    def __init__(self, crashes=0, pool_breaks=0):
+        self._crashes = crashes
+        self._pool_breaks = pool_breaks
+        self._lock = threading.Lock()
+        self.crashes_fired = 0
+        self.pool_breaks_fired = 0
+
+    def maybe_crash(self):
+        with self._lock:
+            if self._crashes <= 0:
+                return
+            self._crashes -= 1
+            self.crashes_fired += 1
+        raise WorkerCrash("injected worker crash")
+
+    def maybe_break_pool(self):
+        with self._lock:
+            if self._pool_breaks <= 0:
+                return
+            self._pool_breaks -= 1
+            self.pool_breaks_fired += 1
+        raise BrokenProcessPool(
+            "injected pool breakage (chaos harness)"
+        )
+
+
+def corrupt_cache_entries(cache, count):
+    """Corrupt up to ``count`` entries of an ArtifactCache in place.
+
+    Truncates the pickled payloads of the first ``count`` entries (in
+    deterministic insertion order) to a prefix that cannot unpickle, in
+    memory and — when the cache is disk-backed — on disk too.  Returns
+    the number of entries corrupted.  The cache's own corrupt-entry
+    handling (miss + unlink + ``corrupt`` counter) is what the chaos
+    harness then exercises.
+    """
+    import os
+
+    corrupted = 0
+    with cache._lock:
+        keys = list(cache._mem)[:count]
+        for key in keys:
+            cache._mem[key] = cache._mem[key][:3]
+            corrupted += 1
+    if cache.directory is not None:
+        for key in keys:
+            kind = key.split("-v", 1)[0]
+            path = cache._disk_path(kind, key)
+            try:
+                with open(path, "r+b") as f:
+                    f.truncate(3)
+            except OSError:
+                pass
+    return corrupted
+
+
+def plan_chaos(cfg, report=0, overapproximate=0, underapproximate=0,
+               worker_crashes=0, pool_breaks=0, corrupt_cache=0,
+               protect=("_entry", "_start", "main")):
+    """Build a deterministic :class:`FailurePlan` against a real CFG.
+
+    Victims are chosen in address order from the functions *eligible*
+    for each fault (any analyzable function for reporting failures, a
+    big-enough block for over-approximation, a jump table with more than
+    one distinct target for under-approximation), skipping ``protect``\\ ed
+    functions so the program still reaches its exit.  The same binary
+    always yields the same plan — chaos runs are reproducible.
+    """
+    plan = FailurePlan(worker_crashes=worker_crashes,
+                       pool_breaks=pool_breaks,
+                       corrupt_cache=corrupt_cache)
+    taken = set()
+
+    def eligible(check):
+        for fcfg in cfg.sorted_functions():
+            if (not fcfg.ok or fcfg.is_runtime_support
+                    or fcfg.name in protect or fcfg.name in taken):
+                continue
+            if check(fcfg):
+                yield fcfg.name
+
+    for name in eligible(lambda f: any(len(set(t.targets)) > 1
+                                       for t in f.jump_tables)):
+        if len(plan.underapproximate) >= underapproximate:
+            break
+        plan.underapproximate.add(name)
+        taken.add(name)
+    for name in eligible(lambda f: any(len(b.insns) >= 3
+                                       for b in f.blocks.values())):
+        if len(plan.overapproximate) >= overapproximate:
+            break
+        plan.overapproximate.add(name)
+        taken.add(name)
+    for name in eligible(lambda f: True):
+        if len(plan.report) >= report:
+            break
+        plan.report.add(name)
+        taken.add(name)
+    return plan

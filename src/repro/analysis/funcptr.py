@@ -19,7 +19,10 @@ Definition kinds found:
   slot so the runtime arithmetic lands on the matching relocated
   instruction.
 
-Imprecision verdicts (any of which forbid func-ptr mode):
+Imprecision verdicts (each attributed to the function it implicates via
+:attr:`FuncPtrAnalysis.imprecise_by_function`, so the rewriter can
+degrade that function down the mode ladder instead of refusing the whole
+binary):
 
 * a *computed code pointer*: a value derived from a non-constant load
   flows into a stored pointer or an indirect transfer (Go's vtab
@@ -83,6 +86,18 @@ class FuncPtrAnalysis:
     code_defs: list = field(default_factory=list)
     derived_defs: list = field(default_factory=list)
     reasons: list = field(default_factory=list)
+    #: {function name: [reasons]} — every imprecision reason attributed
+    #: to the function it implicates: the function *containing* the
+    #: offending construct for per-function scan reasons, the *target*
+    #: function of the ambiguous slot for conflicting-delta reasons.
+    #: This is what drives the rewriter's per-function degradation
+    #: ladder (func-ptr -> jt -> dir -> skip) instead of a whole-binary
+    #: abort.
+    imprecise_by_function: dict = field(default_factory=dict)
+
+    def implicate(self, function_name, reason):
+        self.imprecise_by_function.setdefault(function_name,
+                                              []).append(reason)
 
 
 @dataclass
@@ -176,15 +191,24 @@ def analyze_function_pointers(binary, cfg, spec, cache=None,
                cache=cache, executor=executor, tracer=tracer)
 
     # Conflicting deltas through one slot make redirection ambiguous.
+    # The reason implicates the slot's *target* function: its entry may
+    # be landed on at entry+either-delta, so that function is the one
+    # the ladder must treat conservatively.
+    by_slot = {d.slot: d for d in result.data_defs}
     deltas = {}
     for d in result.derived_defs:
         deltas.setdefault(d.src_slot, set()).add(d.delta)
-    for slot, ds in deltas.items():
+    for slot, ds in sorted(deltas.items()):
         if len(ds) > 1:
             result.precise = False
-            result.reasons.append(
-                f"slot {slot:#x} used with conflicting pointer deltas {ds}"
-            )
+            reason = (f"slot {slot:#x} used with conflicting pointer "
+                      f"deltas {sorted(ds)}")
+            result.reasons.append(reason)
+            data_def = by_slot.get(slot)
+            if data_def is not None:
+                target_fn = cfg.function_at(data_def.target)
+                if target_fn is not None:
+                    result.implicate(target_fn.name, reason)
     if result.reasons:
         result.precise = False
     return result
@@ -289,6 +313,8 @@ def _scan_code(binary, cfg, spec, entries, text_lo, text_hi, result,
         result.code_defs.extend(partial.code_defs)
         result.derived_defs.extend(partial.derived_defs)
         result.reasons.extend(partial.reasons)
+        for reason in partial.reasons:
+            result.implicate(fcfg.name, reason)
         item = cfg.work_items.get(fcfg.entry)
         if item is not None:
             item.funcptr = partial

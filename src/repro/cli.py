@@ -10,6 +10,8 @@ Examples::
     python -m repro rewrite --workload 602.sgcc_s --jobs 4 \\
         --cache-dir .repro-cache -o sgcc.rw
     python -m repro batch 619.lbm_s 602.sgcc_s --jobs 4 --repeat 2
+    python -m repro chaos --workload 602.sgcc_s --report 1 \\
+        --underapprox 1 --worker-crashes 2 --jobs 4
     python -m repro run sgcc.rw
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
@@ -35,6 +37,7 @@ from repro.obs import (
     FlightRecorder,
     Metrics,
     Tracer,
+    render_degradation,
     render_flight_report,
     render_profile,
 )
@@ -154,6 +157,7 @@ def cmd_rewrite(args):
             scorch_original=args.scorch,
             tracer=tracer, metrics=metrics,
             cache=cache, jobs=args.jobs,
+            degrade=not args.no_degrade,
         )
     except ReproError as exc:
         print(f"rewrite refused: {exc}", file=sys.stderr)
@@ -178,6 +182,11 @@ def cmd_rewrite(args):
     if report.failed_functions:
         print(f"skipped       : " + ", ".join(
             name for name, _ in report.failed_functions))
+    if report.degradation:
+        lines = render_degradation(report.degradation)
+        print(f"degraded      : {lines[0]}")
+        for line in lines[1:]:
+            print(line)
     if args.output:
         print(f"written       : {args.output}")
     diverged = False
@@ -212,10 +221,22 @@ def cmd_batch(args):
     failures = 0
     runs = []
     loaded = {}
+    load_failed = set()
     for round_no in range(args.repeat):
         for name in args.workloads:
+            if name in load_failed:
+                continue
             if name not in loaded:
-                loaded[name] = _load_workload(name, args.arch, args.pie)
+                # A bad workload name is one failure, not a batch abort.
+                try:
+                    loaded[name] = _load_workload(name, args.arch,
+                                                  args.pie)
+                except CliError as exc:
+                    failures += 1
+                    load_failed.add(name)
+                    print(f"{name:<16} LOAD FAILED: {exc}",
+                          file=sys.stderr)
+                    continue
             _, binary = loaded[name]
             metrics = Metrics()
             t0 = time.perf_counter()
@@ -249,7 +270,74 @@ def cmd_batch(args):
         print(f"[cache: {stats['entries']} entries, {stats['hits']} hits"
               f" / {stats['misses']} misses, {stats['stores']} stores]",
               file=sys.stderr)
+    if load_failed and load_failed >= set(args.workloads):
+        return EXIT_LOAD_ERROR   # nothing in the batch even loaded
     return EXIT_REWRITE_ERROR if failures else 0
+
+
+def cmd_chaos(args):
+    """The chaos harness: break things on purpose, assert grace.
+
+    Builds a deterministic :func:`repro.analysis.plan_chaos` fault plan
+    against the workload's CFG — analysis faults of each requested
+    Figure-2 category, worker crashes, pool breaks, cache corruption —
+    then runs the full evaluation pipeline under it.  Success means the
+    rewritten binary still matched the oracle; coverage (and nothing
+    else) is allowed to drop.
+    """
+    from repro.analysis import build_cfg, plan_chaos
+    from repro.eval import baseline_run, evaluate_tool
+
+    program, binary = _load_workload(args.workload, args.arch)
+    oracle, base_cycles = baseline_run(binary)
+    plan = plan_chaos(
+        build_cfg(binary),
+        report=args.report,
+        overapproximate=args.overapprox,
+        underapproximate=args.underapprox,
+        worker_crashes=args.worker_crashes,
+        pool_breaks=args.pool_breaks,
+        corrupt_cache=args.corrupt_cache,
+    )
+    cache = _make_cache(args)
+    metrics = Metrics()
+    if plan.corrupt_cache and cache is not None:
+        # Warm the cache with one clean rewrite so corruption has
+        # entries to bite; the chaos run must then recover from them.
+        evaluate_tool(args.mode, binary, oracle, base_cycles,
+                      benchmark=args.workload, cache=cache,
+                      jobs=args.jobs)
+    run = evaluate_tool(args.mode, binary, oracle, base_cycles,
+                        benchmark=args.workload, metrics=metrics,
+                        cache=cache, jobs=args.jobs, faults=plan)
+
+    injected = [f"{label}:{name}" for label, names in
+                (("report", plan.report),
+                 ("over-approx", plan.overapproximate),
+                 ("under-approx", plan.underapproximate))
+                for name in sorted(names)]
+    print(f"plan      : " + (", ".join(injected) or "no analysis faults")
+          + f"; {plan.worker_crashes} worker crash(es), "
+            f"{plan.pool_breaks} pool break(s), "
+            f"{plan.corrupt_cache} corrupt cache entr"
+            f"{'y' if plan.corrupt_cache == 1 else 'ies'}")
+    print(f"outcome   : "
+          + ("survived (output identical to oracle)" if run.passed
+             else f"FAILED ({run.error})"))
+    if run.coverage is not None:
+        print(f"coverage  : {run.coverage:.2%}")
+    print(f"degraded  : {run.degraded_functions} function(s)")
+    for line in render_degradation(run.degradation,
+                                   show_reason=False)[1:]:
+        print(line)
+    counters = metrics.counter_values()
+    substrate = (f"crashes={counters.get('worker.crashes', 0)} "
+                 f"retries={counters.get('worker.retries', 0)} "
+                 f"pool_breaks={counters.get('worker.pool_breaks', 0)}")
+    if cache is not None:
+        substrate += f" cache_corrupt={cache.stats().get('corrupt', 0)}"
+    print(f"substrate : {substrate}")
+    return 0 if run.passed else EXIT_REWRITE_ERROR
 
 
 def cmd_run(args):
@@ -390,6 +478,9 @@ def build_parser():
                    help="print a per-stage timing table after rewriting")
     p.add_argument("--trace", metavar="FILE",
                    help="write the JSON trace tree to FILE")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="refuse the whole binary instead of walking "
+                        "unsupported functions down the mode ladder")
     p.add_argument("-o", "--output")
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_rewrite)
@@ -411,6 +502,31 @@ def build_parser():
                    help="write rewritten binaries under DIR")
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "chaos",
+        help="inject faults (analysis, workers, pool, cache) into one "
+             "rewrite and verify graceful degradation",
+    )
+    p.add_argument("--workload", required=True)
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--mode", default="jt",
+                   choices=[m.value for m in RewriteMode])
+    p.add_argument("--report", type=int, default=0, metavar="N",
+                   help="N functions whose analysis reports failure")
+    p.add_argument("--overapprox", type=int, default=0, metavar="N",
+                   help="N functions given a spurious incoming edge")
+    p.add_argument("--underapprox", type=int, default=0, metavar="N",
+                   help="N functions with one jump-table edge hidden")
+    p.add_argument("--worker-crashes", type=int, default=0, metavar="N",
+                   help="N executor work items crash once each")
+    p.add_argument("--pool-breaks", type=int, default=0, metavar="N",
+                   help="N parallel batches lose their worker pool")
+    p.add_argument("--corrupt-cache", type=int, default=0, metavar="N",
+                   help="truncate N artifact-cache entries (cache is "
+                        "warmed by a clean rewrite first)")
+    _add_pipeline_args(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("run", help="run a (possibly rewritten) binary")
     p.add_argument("binary")

@@ -9,7 +9,13 @@ from repro.core.instrumentation import (
     Instrumentation,
 )
 from repro.core.layout import prepare_output, section_layout_report
-from repro.core.modes import RewriteMode
+from repro.core.modes import (
+    DegradationReport,
+    FunctionDegradation,
+    MODE_LADDER,
+    MODE_SKIP,
+    RewriteMode,
+)
 from repro.core.pipeline import (
     AnalysisCacheView,
     FunctionWorkItem,
@@ -43,6 +49,10 @@ from repro.core.trampolines import (
 
 __all__ = [
     "RewriteMode",
+    "MODE_LADDER",
+    "MODE_SKIP",
+    "DegradationReport",
+    "FunctionDegradation",
     "IncrementalRewriter",
     "RewriteReport",
     "FailedFunction",

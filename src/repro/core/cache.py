@@ -150,6 +150,7 @@ class ArtifactCache:
         self.stores = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.corrupt = 0
 
     # -- keys --------------------------------------------------------------
 
@@ -163,6 +164,7 @@ class ArtifactCache:
     def get(self, kind, key):
         """The cached ``(seconds, value)`` pair for ``key`` (a fresh
         unpickled copy), or :data:`MISS`."""
+        from_disk = False
         with self._lock:
             payload = self._mem.get(key)
             if payload is not None:
@@ -174,6 +176,7 @@ class ArtifactCache:
                 with self._lock:
                     self.misses += 1
                 return MISS
+            from_disk = True
             with self._lock:
                 self.hits += 1
                 self.disk_hits += 1
@@ -181,12 +184,20 @@ class ArtifactCache:
         try:
             return pickle.loads(payload)
         except Exception:
-            # Corrupt payload (e.g. truncated disk file): miss, and drop
-            # the bad entry so it is recomputed and overwritten.
+            # Corrupt payload (e.g. truncated disk file): undo the
+            # optimistic hit accounting, count the corruption, drop the
+            # entry everywhere — including the bad ``.pkl``, which would
+            # otherwise keep poisoning every process sharing the
+            # directory — and miss so the artifact is recomputed and
+            # overwritten.
             with self._lock:
                 self._mem.pop(key, None)
-                self.hits -= 1
+                self.hits = max(0, self.hits - 1)
+                if from_disk:
+                    self.disk_hits = max(0, self.disk_hits - 1)
                 self.misses += 1
+                self.corrupt += 1
+            self._disk_unlink(kind, key)
             return MISS
 
     def put(self, kind, key, value, seconds=0.0):
@@ -221,6 +232,16 @@ class ArtifactCache:
         except OSError:
             return None
 
+    def _disk_unlink(self, kind, key):
+        """Remove a corrupt entry's backing file (quietly: the file may
+        be gone already, or the directory read-only)."""
+        if self.directory is None:
+            return
+        try:
+            os.unlink(self._disk_path(kind, key))
+        except OSError:
+            pass
+
     def _disk_write(self, kind, key, payload):
         if self.directory is None:
             return
@@ -251,6 +272,7 @@ class ArtifactCache:
                 "stores": self.stores,
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
+                "corrupt": self.corrupt,
             }
 
     def __repr__(self):

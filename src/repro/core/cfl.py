@@ -25,7 +25,11 @@ modes buy overhead reductions (Section 4.2):
 
 from repro.analysis.cfg import JUMP_TABLE
 from repro.binfmt.symbols import GLOBAL
-from repro.core.modes import RewriteMode
+from repro.core.modes import (
+    RewriteMode,
+    mode_rewrites_function_pointers,
+    mode_rewrites_jump_tables,
+)
 
 
 class CflAnalysis:
@@ -33,20 +37,25 @@ class CflAnalysis:
 
     def __init__(self, binary, cfg, mode, funcptrs=None,
                  call_emulation=False, relocated=None,
-                 extra_cfl_points=None):
+                 extra_cfl_points=None, fn_modes=None):
         """``relocated``: set of function entries being relocated
         (defaults to every analyzable, non-runtime-support function).
         ``funcptrs``: FuncPtrAnalysis when available (required to *drop*
         entry blocks from CFL in func-ptr mode).
         ``extra_cfl_points``: {function name: block starts} for known
         mid-function landing points (e.g. Go's entry+1 pointers when the
-        pointers themselves are not rewritten)."""
+        pointers themselves are not rewritten).
+        ``fn_modes``: {function entry: effective RewriteMode} for
+        functions the degradation ladder moved below ``mode``; what is
+        CFL in such a function follows its *effective* mode (e.g. its
+        jump-table targets stay CFL after a jt -> dir downgrade)."""
         self.binary = binary
         self.cfg = cfg
         self.mode = mode
         self.funcptrs = funcptrs
         self.call_emulation = call_emulation
         self.extra_cfl_points = extra_cfl_points or {}
+        self.fn_modes = fn_modes or {}
         if relocated is None:
             relocated = {
                 f.entry for f in cfg
@@ -56,6 +65,11 @@ class CflAnalysis:
         self._entry_cfl = self._compute_entry_cfl()
 
     # -- public ---------------------------------------------------------------
+
+    def effective_mode(self, fcfg):
+        """The mode this function is actually rewritten at (the ladder
+        rung), defaulting to the whole-rewrite mode."""
+        return self.fn_modes.get(fcfg.entry, self.mode)
 
     def cfl_blocks(self, fcfg):
         """Block start addresses that are CFL in this function."""
@@ -74,7 +88,7 @@ class CflAnalysis:
                 if src is None and kind != "landing_pad":
                     cfl.add(block.start)
                     break
-        if not self.mode.rewrites_jump_tables:
+        if not mode_rewrites_jump_tables(self.effective_mode(fcfg)):
             for table in fcfg.jump_tables:
                 for target in table.targets:
                     if target in fcfg.blocks:
@@ -149,6 +163,16 @@ class CflAnalysis:
             cfl_entries |= set(self.relocated)
         elif not self.mode.rewrites_function_pointers:
             cfl_entries |= self._address_taken_entries()
+        else:
+            # func-ptr mode with precise analysis: a function the ladder
+            # degraded below func-ptr does not get its pointers
+            # redirected, so its address-taken entry must stay CFL.
+            degraded = {
+                entry for entry, fn_mode in self.fn_modes.items()
+                if not mode_rewrites_function_pointers(fn_mode)
+            }
+            if degraded:
+                cfl_entries |= self._address_taken_entries() & degraded
 
         # Trampolines only make sense in functions being relocated.
         return {e for e in cfl_entries

@@ -25,6 +25,7 @@ produce byte-identical binaries.
 """
 
 import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -164,15 +165,66 @@ def work_item_for(binary, name, entry, range_end=None, pad_handlers=()):
 
 # -- executors -------------------------------------------------------------
 
+#: How many times one crashed work item is re-run serially before its
+#: exception is allowed to propagate.  Transient faults (a killed pool
+#: worker, an injected chaos crash) succeed on the first retry;
+#: deterministic task bugs still surface after the budget is spent.
+MAX_TASK_RETRIES = 2
+
+
+def _run_with_retries(fn, task, retries, metrics, where, fault=None):
+    """Run ``fn(task)`` inline, retrying a bounded number of times.
+
+    The fault-tolerance contract: a *successful* ``fn(task)`` is a pure
+    function of the task, so re-running a crashed item cannot change the
+    result that a fault-free run would have produced — which is what
+    keeps degraded (retried) runs byte-identical to clean ones.
+
+    ``fault`` (a chaos-harness injector) is consulted only on the task's
+    *first* attempt: injected crashes model transient per-item faults,
+    so the retry must observe a healthy worker rather than burn the
+    whole crash budget on one item.
+    """
+    attempt = 0
+    while True:
+        try:
+            if attempt == 0 and fault is not None:
+                fault.maybe_crash()
+            return fn(task)
+        except Exception:
+            metrics.inc("worker.crashes")
+            if attempt >= retries:
+                raise
+            attempt += 1
+            metrics.inc("worker.retries")
+            metrics.inc(f"worker.{where}.retries")
+
 
 class SerialExecutor:
-    """The default: run every task inline, in submission order."""
+    """The default: run every task inline, in submission order.
+
+    Fault-tolerant like its pooled sibling: a crashing task is retried
+    (bounded by ``retries``) before the failure propagates, and an
+    attached :class:`~repro.analysis.failures.WorkerFaultInjector`
+    (``fault``) is consulted per task so the chaos harness exercises the
+    same code path the pools use.
+    """
 
     jobs = 1
     kind = "serial"
 
+    def __init__(self, metrics=None, fault=None,
+                 retries=MAX_TASK_RETRIES):
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.fault = fault
+        self.retries = retries
+
     def map(self, fn, tasks):
-        return [fn(task) for task in tasks]
+        return [
+            _run_with_retries(fn, task, self.retries, self.metrics,
+                              "serial", fault=self.fault)
+            for task in tasks
+        ]
 
     def close(self):
         pass
@@ -188,18 +240,87 @@ class PoolExecutor:
     results positionally stay deterministic regardless of completion
     order.  Single-task batches run inline: no dispatch overhead, and
     the common tiny-wave case (one discovered function) stays cheap.
+
+    Fault tolerance (the degradation ladder's substrate layer): each
+    task runs as its own future, a per-task exception is retried
+    *serially* in the orchestrator (bounded by ``retries``), and a
+    broken pool (``BrokenProcessPool`` — e.g. a worker killed by the
+    OOM killer, or the chaos harness) downgrades the whole batch to
+    serial execution and marks the pool unusable for later batches.
+    Because every successful task is pure and results merge in
+    submission order, a batch that limped home serially is
+    byte-identical to one that never faulted.
     """
 
-    def __init__(self, pool, jobs, kind):
+    def __init__(self, pool, jobs, kind, metrics=None, fault=None,
+                 retries=MAX_TASK_RETRIES):
         self._pool = pool
         self.jobs = jobs
         self.kind = kind
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.fault = fault
+        self.retries = retries
+        #: set after ``BrokenProcessPool``: all later batches run serial
+        self.broken = False
+
+    def _task(self, fn, task):
+        if self.fault is not None:
+            self.fault.maybe_crash()
+        return fn(task)
+
+    def _serial(self, fn, tasks):
+        return [
+            _run_with_retries(fn, task, self.retries, self.metrics,
+                              "serial", fault=self.fault)
+            for task in tasks
+        ]
 
     def map(self, fn, tasks):
         tasks = list(tasks)
-        if len(tasks) <= 1:
-            return [fn(task) for task in tasks]
-        return list(self._pool.map(fn, tasks))
+        if self.broken or len(tasks) <= 1:
+            return self._serial(fn, tasks)
+        if self.fault is not None:
+            try:
+                self.fault.maybe_break_pool()
+            except BrokenProcessPool:
+                self._mark_broken()
+                return self._serial(fn, tasks)
+        try:
+            futures = [self._pool.submit(self._task, fn, task)
+                       for task in tasks]
+        except (RuntimeError, BrokenProcessPool):
+            # shutdown/broken pool at submission time
+            self._mark_broken()
+            return self._serial(fn, tasks)
+        results = []
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                # The pool is gone: every remaining future is doomed
+                # too.  Mark it and finish this batch serially from the
+                # current position — submission order is preserved.
+                self._mark_broken()
+                remaining = tasks[len(results):]
+                results.extend(self._serial(fn, remaining))
+                return results
+            except Exception:
+                # The pool attempt was this task's first crash; rerun
+                # it serially with the remaining retry budget (and no
+                # fault consult — the task already had its first
+                # attempt).
+                self.metrics.inc("worker.crashes")
+                self.metrics.inc("worker.retries")
+                self.metrics.inc("worker.pool.retries")
+                results.append(_run_with_retries(
+                    fn, task, max(0, self.retries - 1), self.metrics,
+                    "pool",
+                ))
+        return results
+
+    def _mark_broken(self):
+        self.broken = True
+        self.metrics.inc("worker.pool_breaks")
 
     def close(self):
         self._pool.shutdown()
@@ -208,16 +329,24 @@ class PoolExecutor:
         return f"<PoolExecutor {self.kind} jobs={self.jobs}>"
 
 
-def make_executor(jobs=1, kind="thread"):
+def make_executor(jobs=1, kind="thread", metrics=None, fault=None,
+                  retries=MAX_TASK_RETRIES):
     """An executor for ``--jobs N``: serial for N<=1, else a pool.
 
     ``kind`` picks the ``concurrent.futures`` backend: ``"thread"``
     (default; shares the binary in memory) or ``"process"`` (true
     parallelism, but every task pickles its inputs across the fork —
     only worth it for large corpora on multi-core machines).
+
+    ``metrics`` receives the fault-tolerance counters
+    (``worker.crashes`` / ``worker.retries`` / ``worker.pool_breaks``);
+    ``fault`` is an optional
+    :class:`repro.analysis.failures.WorkerFaultInjector` the chaos
+    harness uses to exercise those paths on purpose.
     """
     if jobs is None or jobs <= 1:
-        return SerialExecutor()
+        return SerialExecutor(metrics=metrics, fault=fault,
+                              retries=retries)
     if kind == "thread":
         pool = concurrent.futures.ThreadPoolExecutor(max_workers=jobs)
     elif kind == "process":
@@ -225,7 +354,8 @@ def make_executor(jobs=1, kind="thread"):
     else:
         raise ValueError(f"unknown executor kind {kind!r}; "
                          f"use 'thread' or 'process'")
-    return PoolExecutor(pool, jobs, kind)
+    return PoolExecutor(pool, jobs, kind, metrics=metrics, fault=fault,
+                        retries=retries)
 
 
 # -- tracing ---------------------------------------------------------------

@@ -88,6 +88,7 @@ def place_trampolines(cfg, cfl, relocated=None, cache=None, tracer=None):
             parts = ((item.key_parts() if item is not None
                       else (fcfg.name, fcfg.entry, fcfg.range_end))
                      + (cfl.entry_is_cfl(fcfg),
+                        str(cfl.effective_mode(fcfg)),
                         tuple(sorted(cfl.extra_cfl_points.get(
                             fcfg.name, ())))))
             value, key, seconds = cache.fetch("placement", parts)

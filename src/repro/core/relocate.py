@@ -21,6 +21,7 @@ Responsibilities (Sections 3, 5 and 6 of the paper):
   baseline's strategy, Section 2.3).
 """
 
+from repro.core.modes import mode_rewrites_jump_tables
 from repro.isa.archspec import FixedLengthSpec
 from repro.isa.insn import Instruction, Mem
 from repro.isa.registers import CTR, LR, R15, TOC
@@ -151,11 +152,15 @@ class Relocator:
     def __init__(self, binary, spec, cfg, mode, instrumentation,
                  section_labels=None, call_emulation=False,
                  special_points=(), funcptr_code_defs=(),
-                 dynamic_translation=False, function_alignment=None):
+                 dynamic_translation=False, function_alignment=None,
+                 fn_modes=None):
         self.binary = binary
         self.spec = spec
         self.cfg = cfg
         self.mode = mode
+        #: {function entry: effective mode} for ladder-degraded functions;
+        #: a jt->dir downgrade keeps that function's tables uncloned.
+        self.fn_modes = fn_modes or {}
         self.instrumentation = instrumentation
         self.call_emulation = call_emulation
         #: Multiverse-style: indirect transfers and returns become calls
@@ -267,7 +272,7 @@ class Relocator:
                         stream.emit("jmp", 0, target=target)
 
         # Function epilogue area: jump-table clones, then veneer slots.
-        if self.mode.rewrites_jump_tables:
+        if mode_rewrites_jump_tables(self._fn_mode(fcfg)):
             for table in fcfg.jump_tables:
                 self._emit_clone(table)
         if veneers is not None:
@@ -276,9 +281,14 @@ class Relocator:
         stream.label(end_label)
         self.result.fn_end_labels[fcfg.entry] = end_label
 
+    def _fn_mode(self, fcfg):
+        """The mode this function is actually rewritten at (its ladder
+        rung), defaulting to the whole-rewrite mode."""
+        return self.fn_modes.get(fcfg.entry, self.mode)
+
     def _dispatch_ranges(self, fcfg):
         """{seq_start: dispatch_addr} for tables re-emitted canonically."""
-        if not self.mode.rewrites_jump_tables:
+        if not mode_rewrites_jump_tables(self._fn_mode(fcfg)):
             return {}
         return {t.seq_start: t.dispatch_addr for t in fcfg.jump_tables}
 

@@ -4,6 +4,7 @@ Pipeline::
 
     CFG construction  (per-function failure containment)
         -> function-pointer analysis
+        -> degradation planning (the per-function mode ladder)
         -> CFL-block computation (mode-dependent)
         -> trampoline placement analysis (superblocks, scratch pools)
         -> relocation into .instr (+ instrumentation, clones, veneers)
@@ -11,28 +12,40 @@ Pipeline::
         -> function-pointer redirection (func-ptr mode)
         -> .ra_map / .trap_map emission, section layout, report
 
-Failure semantics follow Figure 2: a function whose analysis failed is
-left in place (coverage drops); ``func-ptr`` mode refuses to run when
-pointer identification is imprecise (:class:`RewriteError`), which is the
-"incremental" escape hatch — the user falls back to ``jt`` or ``dir``.
+Failure semantics follow Figure 2: analysis failures *lower coverage*,
+they never abort the rewrite.  A function whose analysis failed is left
+in place; a function whose analysis cannot support the requested mode
+walks down the degradation ladder — ``func-ptr -> jt -> dir -> skip``
+(:mod:`repro.core.modes`) — one rung at a time, each walk recorded in a
+:class:`~repro.core.modes.DegradationReport` on the
+:class:`RewriteReport`.  The old whole-binary refusal (``func-ptr`` mode
+raising :class:`RewriteError` on imprecise pointer identification)
+survives only behind ``degrade=False``, which the Figure-2 experiment
+uses to exhibit the *raw* failure consequences.
 
 Every stage runs under a trace span (:data:`PIPELINE_STAGES`, see
-:mod:`repro.obs`) and each skipped function is recorded as a structured
-``function-skipped`` event carrying its Figure-2 category.
+:mod:`repro.obs`); each skipped function is recorded as a structured
+``function-skipped`` event and each ladder walk as a
+``function-degraded`` event, both carrying Figure-2 categories.
 """
 
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional
 
 from repro.analysis.construction import ConstructionOptions, build_cfg
-from repro.analysis.failures import classify_failure
+from repro.analysis.failures import audit_jump_tables, classify_failure
 from repro.analysis.funcptr import analyze_function_pointers
 from repro.analysis.liveness import LivenessAnalysis
 from repro.binfmt.sections import Section
 from repro.core.cfl import CflAnalysis
 from repro.core.instrumentation import EmptyInstrumentation
 from repro.core.layout import prepare_output
-from repro.core.modes import RewriteMode
+from repro.core.modes import (
+    MODE_SKIP,
+    DegradationReport,
+    RewriteMode,
+    mode_rewrites_jump_tables,
+)
 from repro.core.pipeline import analysis_cache_view, make_executor
 from repro.core.placement import padding_ranges, place_trampolines
 from repro.core.relocate import Relocator
@@ -51,6 +64,7 @@ from repro.util.errors import RewriteError
 PIPELINE_STAGES = (
     "cfg-construction",
     "funcptr-analysis",
+    "degradation-planning",
     "cfl-computation",
     "trampoline-placement",
     "relocation",
@@ -96,6 +110,10 @@ class RewriteReport:
     #: None = pointer analysis not consulted; True/False = its verdict
     funcptr_precise: Optional[bool] = field(default=None)
     funcptr_reasons: list = field(default_factory=list)
+    #: the degradation ladder's per-function walks
+    #: (:class:`repro.core.modes.DegradationReport`)
+    degradation: DegradationReport = field(
+        default_factory=DegradationReport)
 
     @property
     def coverage(self):
@@ -126,7 +144,8 @@ class IncrementalRewriter:
                  call_emulation=False, cfg_hook=None,
                  function_order="address", block_order="address",
                  tracer=None, metrics=None, cache=None, executor=None,
-                 jobs=1, executor_kind="thread"):
+                 jobs=1, executor_kind="thread", degrade=True,
+                 worker_faults=None):
         self.mode = (RewriteMode.parse(mode) if isinstance(mode, str)
                      else mode)
         self.instrumentation = instrumentation or EmptyInstrumentation()
@@ -154,6 +173,14 @@ class IncrementalRewriter:
         self.call_emulation = call_emulation
         #: optional CFG mutation hook (failure injection, Figure 2)
         self.cfg_hook = cfg_hook
+        #: walk unsupported functions down the mode ladder instead of
+        #: refusing the whole binary; ``False`` restores the historical
+        #: hard :class:`RewriteError` (the Figure-2 experiment needs the
+        #: raw failure consequences observable)
+        self.degrade = degrade
+        #: :class:`repro.analysis.failures.WorkerFaultInjector` consulted
+        #: by executors this rewriter creates (chaos harness); None = off
+        self.worker_faults = worker_faults
 
     # -- public ---------------------------------------------------------------
 
@@ -190,7 +217,9 @@ class IncrementalRewriter:
         executor = self.executor
         own_executor = executor is None
         if own_executor:
-            executor = make_executor(self.jobs, self.executor_kind)
+            executor = make_executor(self.jobs, self.executor_kind,
+                                     metrics=metrics,
+                                     fault=self.worker_faults)
         try:
             return self._rewrite_staged(
                 binary, tr, metrics, spec, pipeline_cache,
@@ -230,7 +259,7 @@ class IncrementalRewriter:
             tr.count("code_defs", len(funcptrs.code_defs))
             tr.count("derived_defs", len(funcptrs.derived_defs))
             if self.mode.rewrites_function_pointers \
-                    and not funcptrs.precise:
+                    and not funcptrs.precise and not self.degrade:
                 raise RewriteError(
                     "func-ptr mode requires precise function-pointer "
                     "identification: " + "; ".join(funcptrs.reasons[:3])
@@ -239,9 +268,40 @@ class IncrementalRewriter:
         all_functions = [
             f for f in cfg.sorted_functions() if not f.is_runtime_support
         ]
-        relocated_fns = [
+        candidate_fns = [
             f for f in all_functions
             if f.ok and self.instrumentation.wants_function(f)
+        ]
+
+        with tr.span("degradation-planning") as span:
+            degradation = DegradationReport(
+                requested_mode=str(self.mode))
+            fn_modes = {}
+            forced_cfl = {}
+            if self.degrade:
+                fn_modes, forced_cfl = self._plan_degradations(
+                    binary, cfg, funcptrs, candidate_fns, degradation,
+                )
+                for rec in degradation.entries:
+                    metrics.inc("degrade.functions")
+                    metrics.inc(f"degrade.to.{rec.final}")
+                    tr.event(
+                        "function-degraded",
+                        function=rec.function,
+                        requested=rec.requested,
+                        final=rec.final,
+                        reason=rec.reason,
+                        category=rec.category,
+                    )
+            else:
+                span.attrs["skipped"] = True
+            tr.count("degraded_functions", len(degradation))
+            degraded_entries = set(fn_modes)
+            skip_entries = {entry for entry, m in fn_modes.items()
+                            if m == MODE_SKIP}
+
+        relocated_fns = [
+            f for f in candidate_fns if f.entry not in skip_entries
         ]
         relocated_set = {f.entry for f in relocated_fns}
 
@@ -257,13 +317,16 @@ class IncrementalRewriter:
                 funcptrs
             )
             extra_cfl = self._unrewritten_landing_points(
-                cfg, funcptrs, relocated_set
+                cfg, funcptrs, relocated_set, degraded_entries
             )
+            for name, points in forced_cfl.items():
+                extra_cfl.setdefault(name, set()).update(points)
             cfl = CflAnalysis(
                 binary, cfg, self.mode, funcptrs,
                 call_emulation=self.call_emulation,
                 relocated=relocated_set,
                 extra_cfl_points=extra_cfl,
+                fn_modes=fn_modes,
             )
 
         with tr.span("trampoline-placement"):
@@ -286,14 +349,18 @@ class IncrementalRewriter:
                         len(placement.superblocks))
 
         with tr.span("relocation"):
+            code_defs = ()
+            if self.mode.rewrites_function_pointers:
+                code_defs = self._redirectable_code_defs(
+                    cfg, funcptrs, degraded_entries
+                )
             relocator = Relocator(
                 binary, spec, cfg, self.mode, self.instrumentation,
                 section_labels=extra_addrs,
                 call_emulation=self.call_emulation,
                 special_points=special_points,
-                funcptr_code_defs=(funcptrs.code_defs
-                                   if self.mode.rewrites_function_pointers
-                                   else ()),
+                funcptr_code_defs=code_defs,
+                fn_modes=fn_modes,
                 **self._relocator_kwargs(),
             )
             emit_order = list(relocated_fns)
@@ -341,7 +408,8 @@ class IncrementalRewriter:
             redirected = 0
             if self.mode.rewrites_function_pointers:
                 redirected = self._redirect_pointers(
-                    out, funcptrs, derived_by_slot, reloc, relocated_set
+                    out, funcptrs, derived_by_slot, reloc, relocated_set,
+                    degraded_entries,
                 )
                 tr.count("redirected_slots", redirected)
                 metrics.inc("funcptr.redirected_slots", redirected)
@@ -392,6 +460,7 @@ class IncrementalRewriter:
             rewritten_loaded=out.loaded_size(),
             funcptr_precise=funcptrs.precise,
             funcptr_reasons=list(funcptrs.reasons),
+            degradation=degradation,
         )
         metrics.inc("rewrite.runs")
         metrics.set_gauge("rewrite.coverage", report.coverage)
@@ -425,7 +494,101 @@ class IncrementalRewriter:
 
     # -- internals -------------------------------------------------------------------
 
-    def _unrewritten_landing_points(self, cfg, funcptrs, relocated_set):
+    def _plan_degradations(self, binary, cfg, funcptrs, candidates,
+                           report):
+        """Walk every function that cannot be rewritten at the requested
+        mode down the ladder (``func-ptr -> jt -> dir -> skip``).
+
+        Two detectors drive the walk:
+
+        * the pointer analysis's per-function imprecision attribution
+          (:attr:`FuncPtrAnalysis.imprecise_by_function`) knocks a
+          function out of ``func-ptr``: down to ``jt`` for reasons the
+          weaker mode side-steps (unredirected pointers land on the
+          original entry, which stays CFL), straight to ``skip`` for
+          functions that *build or consume* runtime code pointers —
+          relocating such a function while its computed pointers keep
+          original values would split its identity between two copies;
+        * :func:`repro.analysis.failures.audit_jump_tables` knocks a
+          function out of ``jt``: a table whose image contents disagree
+          with the analysis (a missed edge, Figure 2's dangerous arrow)
+          must not be cloned.  When the audit recovered the true target
+          list the function falls to ``dir`` with those targets forced
+          CFL (the original table keeps working and every real landing
+          site gets a trampoline); an unreadable table forces ``skip``.
+
+        Returns ``({entry: final mode}, {function name: forced CFL
+        points})`` and fills ``report`` with one entry per degraded
+        function (reasons joined across rungs;
+        :func:`~repro.analysis.failures.classify_failure` prefers the
+        dangerous category on mixed reasons).
+        """
+        fn_modes = {}
+        forced_cfl = {}
+        imprecise = (funcptrs.imprecise_by_function
+                     if not funcptrs.precise else {})
+        for fcfg in candidates:
+            mode = self.mode
+            reasons = []
+            if mode.rewrites_function_pointers \
+                    and fcfg.name in imprecise:
+                reason = imprecise[fcfg.name][0]
+                reasons.append(reason)
+                if "computed code pointer" in reason \
+                        or "indirect transfer" in reason:
+                    mode = MODE_SKIP
+                else:
+                    mode = mode.downgrade()
+            if mode_rewrites_jump_tables(mode) and fcfg.jump_tables:
+                findings = audit_jump_tables(binary, fcfg)
+                if findings:
+                    reason, true_targets = findings[0]
+                    reasons.append(reason)
+                    mode = RewriteMode.DIR
+                    if true_targets is None:
+                        mode = MODE_SKIP
+                    else:
+                        points = {t for t in true_targets
+                                  if t in fcfg.blocks}
+                        unrepaired = (set(true_targets)
+                                      - set(fcfg.blocks))
+                        if unrepaired:
+                            # A true target outside the known blocks
+                            # cannot get a trampoline; nothing below
+                            # dir is safe except skipping.
+                            mode = MODE_SKIP
+                        else:
+                            forced_cfl[fcfg.name] = points
+            if mode is not self.mode:
+                if mode == MODE_SKIP:
+                    forced_cfl.pop(fcfg.name, None)
+                fn_modes[fcfg.entry] = mode
+                joined = "; ".join(reasons)
+                report.add(fcfg.name, fcfg.entry, mode, joined,
+                           classify_failure(joined))
+        return fn_modes, forced_cfl
+
+    def _redirectable_code_defs(self, cfg, funcptrs, degraded_entries):
+        """Code-site pointer definitions still eligible for retargeting:
+        a def is dropped when its *target* function degraded below
+        func-ptr (the entry stays CFL, the pointer must keep its
+        original value) or when its *containing* function did (that
+        function no longer performs func-ptr rewriting)."""
+        if not degraded_entries:
+            return funcptrs.code_defs
+        kept = []
+        for cdef in funcptrs.code_defs:
+            if cdef.target in degraded_entries:
+                continue
+            addrs = [a for a in cdef.prov[1:] if isinstance(a, int)]
+            home = cfg.function_at(min(addrs)) if addrs else None
+            if home is not None and home.entry in degraded_entries:
+                continue
+            kept.append(cdef)
+        return kept
+
+    def _unrewritten_landing_points(self, cfg, funcptrs, relocated_set,
+                                    degraded_entries=frozenset()):
         """Known mid-function landing points of *unrewritten* pointers.
 
         Go's entry+1 pointers (paper Listing 1) land one byte past a
@@ -436,8 +599,13 @@ class IncrementalRewriter:
         the entry trampoline.  We split the block there and make the
         split point CFL, exactly the Section-4.3 over-approximation
         machinery applied on purpose.
+
+        A slot whose target function the ladder degraded below func-ptr
+        is never redirected, so it needs the same treatment even when
+        the requested mode rewrites pointers.
         """
-        if self.mode.rewrites_function_pointers and funcptrs.precise:
+        redirecting = self.mode.rewrites_function_pointers
+        if redirecting and funcptrs.precise and not degraded_entries:
             return {}
         by_slot = {d.slot: d for d in funcptrs.data_defs}
         extra = {}
@@ -447,6 +615,8 @@ class IncrementalRewriter:
                 continue
             if data_def.target not in relocated_set:
                 continue
+            if redirecting and data_def.target not in degraded_entries:
+                continue   # the slot is redirected; relocation handles it
             fcfg = cfg.function_at(data_def.target)
             if fcfg is None or not fcfg.ok:
                 continue
@@ -472,15 +642,19 @@ class IncrementalRewriter:
         return points, derived_by_slot
 
     def _redirect_pointers(self, out, funcptrs, derived_by_slot, reloc,
-                           relocated_set):
+                           relocated_set, degraded_entries=frozenset()):
         """func-ptr mode: point every identified definition at the
-        relocated code (Section 5.2)."""
+        relocated code (Section 5.2).  Slots targeting ladder-degraded
+        functions keep their original values — those entries stay CFL,
+        so an unredirected pointer is merely a trampoline bounce."""
         redirected = 0
         new_relocs = []
         patched = {}
         for data_def in funcptrs.data_defs:
             if data_def.target not in relocated_set:
                 continue   # target stays original; value remains correct
+            if data_def.target in degraded_entries:
+                continue   # entry stays CFL; original value stays valid
             pair = derived_by_slot.get(data_def.slot)
             if pair is not None:
                 flow, _ = pair

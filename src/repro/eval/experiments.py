@@ -118,6 +118,16 @@ def docker_experiment():
             "dir == jt for Go binaries (no jump tables): overhead "
             f"{dir_run.overhead:.2%} vs {jt_run.overhead:.2%}"
         )
+    fp_run = result.tool_runs["func-ptr"]
+    if fp_run.passed and fp_run.degraded_functions:
+        # Go's runtime-built function tables make pointer identification
+        # imprecise; the ladder degrades the implicated functions
+        # instead of refusing the binary (coverage drops below 100%).
+        result.notes.append(
+            f"func-ptr: {fp_run.degraded_functions} function(s) "
+            f"degraded (imprecise pointer analysis), coverage "
+            f"{fp_run.coverage:.0%}"
+        )
     return result
 
 
@@ -298,9 +308,13 @@ def failure_modes(arch="x86", benchmark="625.x264_s"):
 
     def run_with(plan):
         hook = (lambda cfg: inject_failures(cfg, plan)) if plan else None
+        # degrade=False: this experiment exists to *observe* the raw
+        # Figure-2 consequences; the ladder's jump-table audit would
+        # catch the under-approximation and neutralize the injection.
         rewriter = IncrementalRewriter(mode=RewriteMode.JT,
                                        scorch_original=True,
-                                       cfg_hook=hook)
+                                       cfg_hook=hook,
+                                       degrade=False)
         rewritten, report = rewriter.rewrite(binary)
         runtime = rewriter.runtime_library(rewritten)
         res = run_binary(rewritten, runtime_lib=runtime)

@@ -55,6 +55,11 @@ class ToolRun:
     cache_hits: int = 0
     cache_misses: int = 0
     analysis_seconds_saved: float = 0.0
+    #: functions the degradation ladder moved below the requested mode
+    degraded_functions: int = 0
+    #: the rewrite's :class:`repro.core.modes.DegradationReport`
+    #: (None when the tool has no ladder)
+    degradation: object = field(default=None, repr=False)
     report: object = field(default=None, repr=False)
     #: the :class:`repro.obs.Tracer` that observed this run (None when
     #: tracing was not requested)
@@ -115,7 +120,8 @@ def _cache_snapshot(metrics):
 
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                   instrumentation=None, tracer=None, metrics=None,
-                  flight=None, cache=None, jobs=None, **tool_kwargs):
+                  flight=None, cache=None, jobs=None, faults=None,
+                  **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
@@ -132,6 +138,16 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     ``cache`` (an :class:`repro.core.ArtifactCache`, typically shared
     across many evaluations) and ``jobs`` feed the incremental pipeline;
     the run's own hit/miss/time-saved deltas come back on the ToolRun.
+
+    ``faults`` (a :class:`repro.analysis.FailurePlan`) is the chaos
+    harness's entry point: its analysis perturbations are injected via
+    the rewriter's ``cfg_hook`` (chained after any existing hook), its
+    worker-crash/pool-break budgets become a
+    :class:`~repro.analysis.failures.WorkerFaultInjector` on the
+    rewriter, and its ``corrupt_cache`` count truncates that many
+    entries of ``cache`` before the rewrite.  The run itself is judged
+    exactly as without faults — the invariant under test is that the
+    output binary still matches the oracle and only coverage drops.
     """
     attach = tracer if tracer is not None else None
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -147,6 +163,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
             rewriter.cache = cache
         if jobs is not None:
             rewriter.jobs = jobs
+        if faults is not None:
+            _apply_faults(rewriter, faults, cache)
         before = _cache_snapshot(metrics)
         rewritten, report = rewriter.rewrite(binary)
         cache_stats = [b - a for a, b in
@@ -188,10 +206,35 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         cache_hits=cache_stats[0],
         cache_misses=cache_stats[1],
         analysis_seconds_saved=cache_stats[2],
+        degraded_functions=len(getattr(report, "degradation", ()) or ()),
+        degradation=getattr(report, "degradation", None),
         report=report,
         trace=attach,
         flight=flight,
     )
+
+
+def _apply_faults(rewriter, faults, cache):
+    """Wire a FailurePlan's chaos into one rewriter instance."""
+    from repro.analysis.failures import (
+        corrupt_cache_entries,
+        inject_failures,
+    )
+
+    if faults.injects_analysis_faults:
+        prev_hook = getattr(rewriter, "cfg_hook", None)
+
+        def hook(cfg, _prev=prev_hook):
+            if _prev is not None:
+                cfg = _prev(cfg) or cfg
+            return inject_failures(cfg, faults)
+
+        rewriter.cfg_hook = hook
+    injector = faults.injector()
+    if injector is not None:
+        rewriter.worker_faults = injector
+    if faults.corrupt_cache and cache is not None:
+        corrupt_cache_entries(cache, faults.corrupt_cache)
 
 
 def baseline_run(binary):

@@ -10,6 +10,7 @@ Everything is zero-dependency and defaults to no-op singletons
 near-zero cost.
 """
 
+from repro.obs.degrade import render_degradation
 from repro.obs.flight import FlightRecorder, render_flight_report
 from repro.obs.metrics import (
     Counter,
@@ -43,4 +44,5 @@ __all__ = [
     "Histogram",
     "FlightRecorder",
     "render_flight_report",
+    "render_degradation",
 ]

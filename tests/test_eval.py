@@ -146,8 +146,15 @@ class TestExperiments:
         result = docker_experiment()
         assert result.tool_runs["dir"].passed
         assert result.tool_runs["jt"].passed
-        assert not result.tool_runs["func-ptr"].passed
         assert not result.tool_runs["ir-lowering"].passed
+        # func-ptr no longer refuses the Go binary: the ladder degrades
+        # the implicated functions and the rewrite completes correctly
+        # with reduced coverage.
+        fp = result.tool_runs["func-ptr"]
+        assert fp.passed
+        assert fp.degraded_functions > 0
+        assert fp.coverage < 1.0
+        assert any("degraded" in note for note in result.notes)
 
     def test_firefox_experiment(self):
         result = firefox_experiment()

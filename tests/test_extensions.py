@@ -140,11 +140,24 @@ class TestCli:
         assert ".instr" in capsys.readouterr().out
 
     def test_rewrite_refusal_exit_code(self, capsys):
+        # --no-degrade restores the old all-or-nothing behaviour: an
+        # imprecise pointer analysis aborts the whole rewrite.
         from repro.cli import EXIT_REWRITE_ERROR, main
         rc = main(["rewrite", "--workload", "docker_like",
-                   "--mode", "func-ptr"])
+                   "--mode", "func-ptr", "--no-degrade"])
         assert rc == EXIT_REWRITE_ERROR
         assert "refused" in capsys.readouterr().err
+
+    def test_rewrite_degrades_by_default(self, capsys):
+        # Without --no-degrade the ladder downgrades the implicated
+        # functions and the rewrite completes with reduced coverage.
+        from repro.cli import main
+        rc = main(["rewrite", "--workload", "docker_like",
+                   "--mode", "func-ptr", "--run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "identical behaviour" in out
 
     def test_tables(self, capsys):
         from repro.cli import main
@@ -161,6 +174,32 @@ class TestCli:
         from repro.binfmt import Binary
         binary = Binary.from_bytes(out_file.read_bytes())
         assert binary.name.startswith("619.lbm_s")
+
+    def test_batch_contains_bad_workload(self, capsys):
+        # One bad name among good ones is a per-workload failure, not a
+        # batch abort: the good workload is still rewritten and the
+        # exit code says "a rewrite-level failure", not "nothing
+        # loaded".
+        from repro.cli import EXIT_LOAD_ERROR, EXIT_REWRITE_ERROR, main
+        rc = main(["batch", "619.lbm_s", "no_such_workload"])
+        captured = capsys.readouterr()
+        assert rc == EXIT_REWRITE_ERROR
+        assert "LOAD FAILED" in captured.err
+        assert "619.lbm_s" in captured.out
+        # Only when *every* workload fails to load is it a load error.
+        rc = main(["batch", "nope_a", "nope_b"])
+        capsys.readouterr()
+        assert rc == EXIT_LOAD_ERROR
+
+    def test_chaos_smoke(self, capsys):
+        from repro.cli import main
+        rc = main(["chaos", "--workload", "602.sgcc_s", "--report", "1",
+                   "--underapprox", "1", "--worker-crashes", "1",
+                   "--jobs", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "survived" in out
+        assert "degraded" in out
 
     def test_app_workloads_x86_only(self, capsys):
         from repro.cli import EXIT_LOAD_ERROR, main

@@ -125,6 +125,68 @@ class TestIntegrity:
                     <= weaker.cfl_blocks(fcfg))
 
 
+class TestDegradedIntegrity:
+    """The ladder's per-function modes preserve the integrity
+    invariants: what is CFL in a degraded function is exactly what a
+    whole-binary rewrite at that function's *effective* mode computes,
+    and other functions are untouched."""
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_degraded_function_gets_weaker_mode_cfl(self, arch):
+        binary, cfg, funcptrs, _ = _context("602.sgcc_s", arch,
+                                            RewriteMode.JT)
+        victims = {f.entry for f in cfg.ok_functions()
+                   if f.jump_tables and not f.is_runtime_support}
+        assert victims, "workload must have jump-table functions"
+        fn_modes = {entry: RewriteMode.DIR for entry in victims}
+        mixed = CflAnalysis(binary, cfg, RewriteMode.JT, funcptrs,
+                            fn_modes=fn_modes)
+        pure_jt = CflAnalysis(binary, cfg, RewriteMode.JT, funcptrs)
+        pure_dir = CflAnalysis(binary, cfg, RewriteMode.DIR, funcptrs)
+        for fcfg in cfg.ok_functions():
+            if fcfg.is_runtime_support:
+                continue
+            if fcfg.entry in victims:
+                assert (mixed.cfl_blocks(fcfg)
+                        == pure_dir.cfl_blocks(fcfg))
+                # in particular, every live table target is a landing
+                # point again — no unmodified incoming edge is missed
+                for table in fcfg.jump_tables:
+                    for target in table.targets:
+                        if target in fcfg.blocks:
+                            assert target in mixed.cfl_blocks(fcfg)
+            else:
+                assert (mixed.cfl_blocks(fcfg)
+                        == pure_jt.cfl_blocks(fcfg))
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("mode", MODES, ids=str)
+    def test_degraded_placement_superblocks_start_at_cfl(self, arch,
+                                                         mode):
+        """Placement over a ladder-degraded CFL analysis keeps the
+        trampoline invariant of the undegraded property tests."""
+        from repro.core.modes import MODE_SKIP
+        binary, cfg, funcptrs, _ = _context("602.sgcc_s", arch, mode)
+        entries = sorted(f.entry for f in cfg.ok_functions()
+                         if not f.is_runtime_support)
+        # walk the first few functions one rung down, one to the bottom
+        fn_modes = {e: mode.downgrade() for e in entries[:3]}
+        fn_modes[entries[-1]] = MODE_SKIP
+        relocated = {e for e in entries
+                     if fn_modes.get(e) != MODE_SKIP}
+        cfl = CflAnalysis(binary, cfg, mode, funcptrs,
+                          relocated=relocated, fn_modes=fn_modes)
+        placement = place_trampolines(cfg, cfl)
+        for sb in placement.superblocks:
+            assert sb.cfl_start in placement.cfl_by_function[sb.function]
+        # skipped functions are never placed
+        skipped_names = {f.name for f in cfg.ok_functions()
+                         if f.entry not in relocated
+                         and not f.is_runtime_support}
+        for name in skipped_names:
+            assert name not in placement.cfl_by_function
+
+
 class TestConnectivity:
     @pytest.mark.parametrize("arch", ARCHES)
     def test_all_blocks_reachable_from_entry_or_landing(self, arch):

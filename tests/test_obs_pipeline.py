@@ -161,11 +161,14 @@ class TestTracedEvaluateTool:
         assert run.trace is None
 
     def test_refusal_is_attributed_with_type_and_event(self):
+        # degrade=False: with the ladder on (default) the imprecise
+        # pointer analysis downgrades instead of refusing.
         binary = docker_like("x86")[1]
         oracle, cycles = baseline_run(binary)
         tracer = Tracer()
         run = evaluate_tool("func-ptr", binary, oracle, cycles,
-                            benchmark="docker", tracer=tracer)
+                            benchmark="docker", tracer=tracer,
+                            degrade=False)
         assert not run.passed
         assert run.error.startswith("RewriteError:")
         events = tracer.root.total_events("harness-error")

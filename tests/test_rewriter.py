@@ -144,10 +144,24 @@ class TestJumpTableCloning:
 
 
 class TestGoBinaries:
-    def test_funcptr_mode_refuses_go(self):
+    def test_funcptr_mode_refuses_go_without_ladder(self):
         program, binary = docker_like()
         with pytest.raises(RewriteError, match="precise"):
-            rewrite_binary(binary, RewriteMode.FUNC_PTR)
+            rewrite_binary(binary, RewriteMode.FUNC_PTR, degrade=False)
+
+    def test_funcptr_mode_degrades_go(self):
+        """With the ladder on (default), the imprecise pointer analysis
+        downgrades only the implicated functions and the rewrite
+        completes — correct output, reduced coverage."""
+        program, binary = docker_like()
+        rewritten, report, runtime = _rewrite_and_run(
+            program, binary, RewriteMode.FUNC_PTR)
+        assert report.degradation
+        for rec in report.degradation.entries:
+            assert rec.requested == "func-ptr"
+            assert rec.final != "func-ptr"
+            assert rec.reason
+        assert report.coverage < 1.0
 
     def test_dir_equals_jt_for_go(self):
         program, binary = docker_like()
