@@ -5,7 +5,8 @@ unchanged binary performs zero CFG constructions and measurably less
 analysis work.  This bench rewrites a reference workload cold and then
 warm through one shared :class:`ArtifactCache`, asserts the warm run is
 construction-free, and registers both timings (plus the cache's own
-accounting) as a machine-readable record.
+accounting and the cold rewrite's peak traced memory) as a
+schema-stamped machine-readable record.
 """
 
 import time
@@ -13,16 +14,16 @@ import time
 import pytest
 
 from repro.core import ArtifactCache, IncrementalRewriter, RewriteMode
-from repro.obs import Metrics
+from repro.obs import Metrics, Tracer
 from repro.toolchain.workloads import build_workload, spec_workload
 
 REFERENCE = ("602.sgcc_s", "x86")
 MODE = RewriteMode.JT
 
 
-def _rewrite(binary, cache, metrics):
+def _rewrite(binary, cache, metrics, tracer=None):
     rewriter = IncrementalRewriter(mode=MODE, cache=cache,
-                                   metrics=metrics)
+                                   metrics=metrics, tracer=tracer)
     t0 = time.perf_counter()
     rewriter.rewrite(binary)
     return time.perf_counter() - t0
@@ -35,7 +36,9 @@ def test_warm_cache_rewrite(benchmark, print_section, runtime_records):
     cache = ArtifactCache()
 
     cold_metrics = Metrics()
-    cold_seconds = _rewrite(binary, cache, cold_metrics)
+    cold_tracer = Tracer(name="cold-rewrite", memory=True)
+    cold_seconds = _rewrite(binary, cache, cold_metrics, cold_tracer)
+    cold_mem_peak = cold_tracer.finish().mem_peak
 
     warm_seconds = benchmark(lambda: _rewrite(binary, cache, Metrics()))
     warm_metrics = Metrics()
@@ -54,6 +57,7 @@ def test_warm_cache_rewrite(benchmark, print_section, runtime_records):
         "cold_seconds": cold_seconds,
         "warm_seconds": warm_seconds,
         "cold_constructions": counters.get("cfg.constructions", 0),
+        "cold_mem_peak": cold_mem_peak,
         "cache": cache.stats(),
     }
     runtime_records(record)

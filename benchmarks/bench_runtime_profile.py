@@ -4,9 +4,10 @@ disabled-recorder tax.
 Two benches.  The first runs the reference workload under every runtime-
 relevant tool with a :class:`FlightRecorder` attached and registers one
 machine-readable record per tool (cycles, instructions, trampoline hit
-totals) through the ``runtime_records`` fixture — run with
-``--json BENCH_runtime.json`` to persist them, which is how the perf
-trajectory across commits is tracked.  The second quantifies the flight
+totals) through the ``runtime_records`` fixture — every record is
+stamped with schema + environment fingerprint by the shared conftest
+helper; run with ``--json BENCH_runtime.json`` to persist them, which
+is how the perf trajectory across commits is tracked.  The second quantifies the flight
 hook's cost when *disabled*: the CPU hot loop pays one ``is not None``
 test per step, and projecting that measured per-step cost against an
 un-instrumented run's wall time must stay under 2%.
@@ -96,7 +97,8 @@ def _guard_cost_per_step(iterations=500_000, repeats=5):
     return max(0.0, best) / iterations
 
 
-def test_disabled_flight_overhead(benchmark, print_section):
+def test_disabled_flight_overhead(benchmark, print_section,
+                                  runtime_records):
     name, arch = REFERENCE
     _, binary = build_workload(spec_workload(name, arch), arch)
 
@@ -113,12 +115,15 @@ def test_disabled_flight_overhead(benchmark, print_section):
         f"disabled flight hook projects to {projected:.2%} of a "
         f"reference run (budget {BUDGET:.0%})"
     )
-    benchmark.extra_info.update({
+    record = {
         "guard_ns": per_step * 1e9,
         "run_ms": best * 1e3,
         "icount": icount,
         "projected_overhead": projected,
-    })
+    }
+    benchmark.extra_info.update(record)
+    runtime_records({"bench": "flight_guard_overhead",
+                     "benchmark": name, "arch": arch, **record})
     print_section(
         "Disabled flight-recorder overhead on a reference run",
         f"reference        : {name} / {arch}\n"

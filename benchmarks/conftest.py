@@ -10,14 +10,20 @@ in the Table 3 benches (the default uses a representative subset so
 
 Machine-readable output: ``--json OUT`` collects every record a bench
 registers through the ``runtime_records`` fixture and writes them as one
-``BENCH_runtime/v1`` JSON document at session end, so perf trajectories
-can be tracked across commits.
+``BENCH_runtime/v2`` JSON document at session end, so perf trajectories
+can be tracked across commits.  Every record is routed through the
+observatory's shared schema stamp (:func:`repro.obs.stamp_record`):
+each row carries ``schema`` + the session's environment fingerprint, so
+downstream consumers (the regression sentinel, dashboards) can attribute
+and compare rows without guessing where they came from.
 """
 
 import json
 import os
 
 import pytest
+
+from repro.obs.observatory import EnvFingerprint, stamp_record
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
@@ -58,13 +64,32 @@ def pytest_addoption(parser):
 
 
 _RUNTIME_RECORDS = []
+_FINGERPRINT = None
+
+
+def session_fingerprint():
+    """One :class:`EnvFingerprint` per bench session (collect once —
+    the git-sha probe shells out)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        _FINGERPRINT = EnvFingerprint.collect()
+    return _FINGERPRINT
+
+
+def register_record(record):
+    """The one place every bench's machine-readable record goes through:
+    stamps schema + environment fingerprint and queues it for the
+    session's ``--json`` document."""
+    _RUNTIME_RECORDS.append(
+        stamp_record(record, fingerprint=session_fingerprint()))
 
 
 @pytest.fixture
 def runtime_records():
     """Register machine-readable results: call with a dict per record
-    (e.g. tool/benchmark/cycles/instructions/trampoline hits)."""
-    return _RUNTIME_RECORDS.append
+    (e.g. tool/benchmark/cycles/instructions/trampoline hits); each is
+    stamped with schema + fingerprint via :func:`register_record`."""
+    return register_record
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -72,5 +97,6 @@ def pytest_sessionfinish(session, exitstatus):
     if not out or not _RUNTIME_RECORDS:
         return
     with open(out, "w") as f:
-        json.dump({"schema": "BENCH_runtime/v1",
+        json.dump({"schema": "BENCH_runtime/v2",
+                   "fingerprint": session_fingerprint().to_dict(),
                    "results": _RUNTIME_RECORDS}, f, indent=2)

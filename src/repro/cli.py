@@ -12,6 +12,9 @@ Examples::
     python -m repro batch 619.lbm_s 602.sgcc_s --jobs 4 --repeat 2
     python -m repro chaos --workload 602.sgcc_s --report 1 \\
         --underapprox 1 --worker-crashes 2 --jobs 4
+    python -m repro perf record --workload 602.sgcc_s
+    python -m repro perf report
+    python -m repro perf check --fail-on fail
     python -m repro run sgcc.rw
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
@@ -57,6 +60,7 @@ EXIT_DIVERGED = 1
 EXIT_DIFF_REFUSED = 2
 EXIT_LOAD_ERROR = 3
 EXIT_REWRITE_ERROR = 4
+EXIT_PERF_REGRESSION = 5
 
 _APP_WORKLOADS = {
     "libxul_like": firefox_like,
@@ -340,6 +344,79 @@ def cmd_chaos(args):
     return 0 if run.passed else EXIT_REWRITE_ERROR
 
 
+def cmd_perf(args):
+    """The performance observatory: record samples into the persisted
+    benchmark history, render the trend, and gate on regressions.
+
+    ``record`` rewrites one workload under a memory-accounting tracer
+    and appends a fingerprinted :class:`~repro.obs.PerfSample` (stage
+    times, stage memory peaks, cache accounting, trampoline shape, and
+    — unless ``--no-run`` — the emulated instruction/cycle totals) to
+    ``BENCH_history.json``.  ``report`` prints the cross-run trend
+    table.  ``check`` grades the newest sample against the rolling
+    same-fingerprint baseline and exits ``EXIT_PERF_REGRESSION`` on a
+    ``fail``-grade finding (``--fail-on warn`` tightens the gate).
+    """
+    from repro.obs import (
+        BenchHistory,
+        PerfSample,
+        RegressionSentinel,
+        render_sentinel_report,
+        render_trend,
+    )
+
+    history = BenchHistory(args.history)
+    if args.action == "record":
+        program, binary = _load_workload(args.workload, args.arch)
+        tracer = Tracer(name=f"perf:{args.workload}",
+                        memory=not args.no_mem)
+        metrics = Metrics()
+        t0 = time.perf_counter()
+        try:
+            rewritten, report, runtime = rewrite_binary(
+                binary, RewriteMode.parse(args.mode),
+                tracer=tracer, metrics=metrics, jobs=args.jobs,
+            )
+        except ReproError as exc:
+            print(f"perf record refused: {exc}", file=sys.stderr)
+            return EXIT_REWRITE_ERROR
+        total = time.perf_counter() - t0
+        instructions = cycles = None
+        if not args.no_run:
+            result = run_binary(rewritten, runtime_lib=runtime)
+            instructions, cycles = result.icount, result.cycles
+        sample = PerfSample.from_rewrite(
+            tracer, metrics, report,
+            workload=args.workload, arch=args.arch, mode=args.mode,
+            total_seconds=total, instructions=instructions,
+            cycles=cycles,
+        )
+        history.append(sample)
+        mem = (f", peak {sample.mem_peak:,} bytes"
+               if sample.mem_peak is not None else "")
+        dyn = (f", {cycles:,} cycles" if cycles is not None else "")
+        print(f"recorded {args.workload}/{args.arch}/{args.mode}: "
+              f"{total * 1e3:.1f}ms over "
+              f"{len(sample.stage_seconds)} stages{mem}{dyn} "
+              f"-> {args.history}")
+        return 0
+
+    samples = history.load()
+    if history.skipped:
+        print(f"[{history.skipped} corrupt/foreign history entr"
+              f"{'y' if history.skipped == 1 else 'ies'} skipped]",
+              file=sys.stderr)
+    if args.action == "report":
+        print(render_trend(samples, window=args.window))
+        return 0
+
+    sentinel = RegressionSentinel(window=args.window)
+    verdict = sentinel.check(samples)
+    print(render_sentinel_report(verdict))
+    gate = ("warn", "fail") if args.fail_on == "warn" else ("fail",)
+    return EXIT_PERF_REGRESSION if verdict.grade in gate else 0
+
+
 def cmd_run(args):
     binary = _read_binary(args.binary)
     runtime = None
@@ -527,6 +604,36 @@ def build_parser():
                         "warmed by a clean rewrite first)")
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "perf",
+        help="performance observatory: record/report/check the "
+             "persisted benchmark history",
+    )
+    p.add_argument("action", choices=["record", "report", "check"])
+    p.add_argument("--history", default="BENCH_history.json",
+                   metavar="FILE",
+                   help="benchmark history store "
+                        "(default BENCH_history.json)")
+    p.add_argument("--workload", default="602.sgcc_s",
+                   help="workload to record (default 602.sgcc_s)")
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--mode", default="jt",
+                   choices=[m.value for m in RewriteMode])
+    p.add_argument("--jobs", type=int, default=1, metavar="N")
+    p.add_argument("--no-run", action="store_true",
+                   help="record: skip the emulated run "
+                        "(no instruction/cycle totals)")
+    p.add_argument("--no-mem", action="store_true",
+                   help="record: skip tracemalloc memory accounting")
+    p.add_argument("--window", type=int, default=5, metavar="N",
+                   help="rolling baseline size / report depth "
+                        "(default 5)")
+    p.add_argument("--fail-on", choices=["warn", "fail"],
+                   default="fail",
+                   help="check: lowest severity that exits nonzero "
+                        "(default fail)")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("run", help="run a (possibly rewritten) binary")
     p.add_argument("binary")

@@ -193,8 +193,22 @@ class IncrementalRewriter:
         tr = self.tracer
         metrics = self.metrics
         with tr.span("rewrite", mode=str(self.mode),
-                     arch=binary.arch_name):
-            return self._rewrite_traced(binary, tr, metrics)
+                     arch=binary.arch_name) as rewrite_span:
+            result = self._rewrite_traced(binary, tr, metrics)
+        # Memory accounting (Tracer(memory=True)) lands per-stage peaks
+        # on the stage spans; mirror the whole-rewrite peak and each
+        # stage's peak onto the metrics registry so PerfSample builders
+        # and dashboards need not walk the trace tree.
+        if getattr(rewrite_span, "mem_peak", None) is not None:
+            metrics.set_gauge("rewrite.mem_peak_bytes",
+                              rewrite_span.mem_peak)
+            for stage in rewrite_span.children:
+                if stage.name in PIPELINE_STAGES \
+                        and stage.mem_peak is not None:
+                    metrics.set_gauge(
+                        f"rewrite.stage.{stage.name}.mem_peak_bytes",
+                        stage.mem_peak)
+        return result
 
     def _rewrite_traced(self, binary, tr, metrics):
         spec = get_arch(binary.arch_name)

@@ -55,6 +55,9 @@ class ToolRun:
     cache_hits: int = 0
     cache_misses: int = 0
     analysis_seconds_saved: float = 0.0
+    #: peak traced-memory bytes of the rewrite (None unless the caller
+    #: passed a ``Tracer(memory=True)``)
+    mem_peak: int = None
     #: functions the degradation ladder moved below the requested mode
     degraded_functions: int = 0
     #: the rewrite's :class:`repro.core.modes.DegradationReport`
@@ -130,7 +133,9 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     observe the whole run — the rewrite's pipeline-stage spans and the
     emulated execution land under it and the tracer is attached to the
     returned :attr:`ToolRun.trace`; failures are recorded as
-    ``harness-error`` trace events with the exception type.  Pass a
+    ``harness-error`` trace events with the exception type.  A
+    ``Tracer(memory=True)`` additionally surfaces the rewrite's peak
+    traced memory on :attr:`ToolRun.mem_peak`.  Pass a
     :class:`repro.obs.FlightRecorder` as ``flight`` to record the
     emulated execution (block ring, trampoline hits, RA translations);
     it comes back on :attr:`ToolRun.flight`.
@@ -180,6 +185,11 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         metrics.inc("harness.errors")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
                        error=error, trace=attach, flight=flight)
+    mem_peak = None
+    if attach is not None:
+        rewrite_span = attach.find("rewrite")
+        if rewrite_span is not None:
+            mem_peak = rewrite_span.mem_peak
     if (result.exit_code, result.output) != oracle:
         tracer.event("harness-error", tool=tool, benchmark=benchmark,
                      error="wrong output")
@@ -188,7 +198,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                        error="wrong output", report=report, trace=attach,
                        flight=flight, cache_hits=cache_stats[0],
                        cache_misses=cache_stats[1],
-                       analysis_seconds_saved=cache_stats[2])
+                       analysis_seconds_saved=cache_stats[2],
+                       mem_peak=mem_peak)
     return ToolRun(
         tool=tool,
         benchmark=benchmark,
@@ -206,6 +217,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         cache_hits=cache_stats[0],
         cache_misses=cache_stats[1],
         analysis_seconds_saved=cache_stats[2],
+        mem_peak=mem_peak,
         degraded_functions=len(getattr(report, "degradation", ()) or ()),
         degradation=getattr(report, "degradation", None),
         report=report,

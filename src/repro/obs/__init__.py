@@ -8,10 +8,24 @@ failure forensics, JSON export, and a human-readable profile table.
 Everything is zero-dependency and defaults to no-op singletons
 (:data:`NULL_TRACER`, :data:`NULL_METRICS`) so un-instrumented runs pay
 near-zero cost.
+
+:mod:`repro.obs.observatory` turns individual measurements into a
+trajectory: a shared :class:`PerfSample` schema, the append-only
+:class:`BenchHistory` behind ``BENCH_history.json``, and the
+:class:`RegressionSentinel` that gates CI on cross-run regressions.
 """
 
 from repro.obs.degrade import render_degradation
 from repro.obs.flight import FlightRecorder, render_flight_report
+from repro.obs.observatory import (
+    BenchHistory,
+    EnvFingerprint,
+    PerfSample,
+    RegressionSentinel,
+    render_sentinel_report,
+    render_trend,
+    stamp_record,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,4 +59,11 @@ __all__ = [
     "FlightRecorder",
     "render_flight_report",
     "render_degradation",
+    "PerfSample",
+    "EnvFingerprint",
+    "BenchHistory",
+    "RegressionSentinel",
+    "render_sentinel_report",
+    "render_trend",
+    "stamp_record",
 ]

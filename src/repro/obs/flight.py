@@ -214,12 +214,10 @@ class FlightRecorder:
             "ring": [{"pc": pc, "cycles": cycles,
                       "region": self.region_of(pc)}
                      for pc, cycles in self.last_blocks()],
-            "block_cycles": {
-                **hist.summary(),
-                "p50": hist.percentile(50),
-                "p90": hist.percentile(90),
-                "p99": hist.percentile(99),
-            },
+            # summary() carries p50/p90/p99 whenever anything was
+            # observed; None placeholders keep the empty shape stable.
+            "block_cycles": {"p50": None, "p90": None, "p99": None,
+                             **hist.summary()},
             "trampolines": {
                 "sites": sites,
                 "sites_hit": sites_hit,

@@ -84,8 +84,14 @@ class Histogram:
         return ordered[rank - 1]
 
     def summary(self):
-        return {"count": self.count, "sum": self.total,
-                "min": self.vmin, "max": self.vmax, "mean": self.mean}
+        out = {"count": self.count, "sum": self.total,
+               "min": self.vmin, "max": self.vmax, "mean": self.mean}
+        if self.samples:
+            # Persisted metrics keep the distribution, not just moments.
+            out["p50"] = self.percentile(50)
+            out["p90"] = self.percentile(90)
+            out["p99"] = self.percentile(99)
+        return out
 
     def __repr__(self):
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"

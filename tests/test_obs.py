@@ -284,6 +284,96 @@ class TestHistogramPercentiles:
         assert NULL_METRICS.histogram("x").percentile(50) is None
 
 
+class TestMemoryAccounting:
+    def test_spans_carry_mem_peak_when_enabled(self):
+        tr = Tracer(memory=True)
+        with tr.span("alloc"):
+            blob = bytearray(2_000_000)
+        del blob
+        with tr.span("quiet"):
+            pass
+        root = tr.finish()
+        alloc = root.find("alloc")
+        assert alloc.mem_peak >= 2_000_000
+        assert root.find("quiet").mem_peak is not None
+        assert root.mem_peak >= alloc.mem_peak
+
+    def test_parent_peak_covers_children(self):
+        tr = Tracer(memory=True)
+        with tr.span("parent"):
+            before = bytearray(500_000)
+            with tr.span("child"):
+                inner = bytearray(1_500_000)
+            del inner
+        del before
+        root = tr.finish()
+        parent, child = root.find("parent"), root.find("child")
+        assert child.mem_peak >= 1_500_000
+        assert parent.mem_peak >= child.mem_peak
+
+    def test_default_tracer_records_no_memory(self):
+        tr = Tracer()
+        with tr.span("s"):
+            pass
+        assert tr.find("s").mem_peak is None
+        assert tr.finish().mem_peak is None
+
+    def test_finish_stops_tracemalloc_it_started(self):
+        import tracemalloc
+        was_tracing = tracemalloc.is_tracing()
+        tr = Tracer(memory=True)
+        with tr.span("s"):
+            pass
+        tr.finish()
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_mem_peak_round_trips_through_json(self):
+        tr = Tracer(memory=True)
+        with tr.span("stage"):
+            blob = bytearray(1_000_000)
+        del blob
+        tr.finish()
+        rebuilt = trace_from_json(tr.to_json())
+        assert rebuilt.find("stage").mem_peak \
+            == tr.find("stage").mem_peak
+        assert rebuilt.mem_peak == tr.root.mem_peak
+
+    def test_traces_without_mem_peak_still_load(self):
+        # Backwards compatibility: PR-2-era traces have no mem_peak key.
+        old = {"name": "trace", "start": 0.0, "end": 1.0,
+               "children": [{"name": "stage", "start": 0.0, "end": 0.5}]}
+        root = Span.from_dict(old)
+        assert root.mem_peak is None
+        assert root.find("stage").mem_peak is None
+        # And a memory-less span serializes without the key.
+        assert "mem_peak" not in root.to_dict()
+
+
+class TestHistogramExport:
+    def test_summary_includes_percentiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] == 50
+        assert s["p90"] == 90
+        assert s["p99"] == 99
+
+    def test_empty_summary_has_no_percentiles(self):
+        s = Histogram("h").summary()
+        assert "p50" not in s
+        assert s["count"] == 0
+
+    def test_metrics_dump_persists_the_distribution(self):
+        m = Metrics()
+        for v in (1, 2, 3, 100):
+            m.observe("lat", v)
+        dumped = json.loads(json.dumps(m.as_dict()))
+        hist = dumped["histograms"]["lat"]
+        assert hist["p50"] == 2
+        assert hist["p99"] == 100
+
+
 class TestProfileRendering:
     def test_profile_lists_every_span_with_times(self):
         tr = Tracer(clock=stepping_clock())
@@ -304,3 +394,17 @@ class TestProfileRendering:
 
     def test_profile_of_null_tracer(self):
         assert render_profile(NULL_TRACER) == "(no trace recorded)"
+
+    def test_profile_shows_memory_column_only_when_recorded(self):
+        tr = Tracer(memory=True)
+        with tr.span("alloc"):
+            blob = bytearray(3_000_000)
+        del blob
+        text = render_profile(tr)
+        assert "mem peak" in text
+        assert "MiB" in text
+
+        plain = Tracer(clock=stepping_clock())
+        with plain.span("stage"):
+            pass
+        assert "mem peak" not in render_profile(plain)
