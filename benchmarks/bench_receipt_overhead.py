@@ -1,0 +1,122 @@
+"""Provenance tax: emitting a rewrite receipt must stay cheap.
+
+Receipts are meant to be on by default for every batch rewrite, so the
+cost of assembling one — metric snapshot/delta, span walk, digesting
+the input and output images, canonical-JSON content addressing — has
+to be a small fraction of the rewrite it describes.  This bench
+measures a reference rewrite with and without a receipt sink attached
+(best-of-N each) and holds the marginal cost to a 12% budget on the
+deliberately tiny reference workload, where the fixed per-receipt cost
+(serializing and digesting both images, ~1.5ms) is proportionally at
+its worst; the budget is sized to catch a regression back to
+per-receipt environment fingerprinting, which alone cost ~20%.  A
+second bench isolates the dominant term, content digesting, and
+reports digest throughput alongside the projected share of a rewrite.
+"""
+
+import time
+
+from repro.core import IncrementalRewriter, RewriteMode
+from repro.obs import Metrics
+from repro.obs.receipt import content_digest
+from repro.toolchain.workloads import build_workload, spec_workload
+
+REFERENCE = ("602.sgcc_s", "x86")
+MODE = RewriteMode.JT
+BUDGET = 0.12  # receipt assembly tax ceiling on the tiny reference
+DIGEST_BUDGET = 0.05  # two content digests against one rewrite
+
+
+def _rewrite_seconds(binary, receipt, repeats=5):
+    """Best-of-N wall time of a reference rewrite, with or without a
+    receipt sink discarding into a list."""
+    best = None
+    for _ in range(repeats):
+        sink = [].append if receipt else None
+        rewriter = IncrementalRewriter(mode=MODE, metrics=Metrics(),
+                                       receipt_sink=sink)
+        t0 = time.perf_counter()
+        rewriter.rewrite(binary)
+        elapsed = time.perf_counter() - t0
+        if receipt:
+            assert rewriter.last_receipt is not None
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_receipt_emission_overhead(benchmark, print_section,
+                                   runtime_records):
+    name, arch = REFERENCE
+    _, binary = build_workload(spec_workload(name, arch), arch)
+
+    def experiment():
+        plain_s = _rewrite_seconds(binary, receipt=False)
+        receipt_s = _rewrite_seconds(binary, receipt=True)
+        overhead = max(0.0, receipt_s - plain_s) / plain_s
+        return {
+            "plain_ms": plain_s * 1e3,
+            "receipt_ms": receipt_s * 1e3,
+            "overhead": overhead,
+        }
+
+    r = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert r["overhead"] < BUDGET, (
+        f"receipt emission adds {r['overhead']:.2%} to a reference "
+        f"rewrite (budget {BUDGET:.0%})"
+    )
+    benchmark.extra_info.update(r)
+    runtime_records({"bench": "receipt_overhead",
+                     "benchmark": name, "arch": arch,
+                     "mode": str(MODE), **r})
+    print_section(
+        "Receipt-emission overhead on a reference rewrite",
+        f"reference        : {name} / {arch} / {MODE}\n"
+        f"plain rewrite    : {r['plain_ms']:.2f} ms\n"
+        f"with receipt     : {r['receipt_ms']:.2f} ms\n"
+        f"marginal tax     : {r['overhead']:.3%} "
+        f"(budget {BUDGET:.0%})",
+    )
+
+
+def test_content_digest_throughput(benchmark, print_section,
+                                   runtime_records):
+    """The digest of the input and output images is the receipt's
+    biggest fixed cost; report its throughput and the projected share
+    of a reference rewrite (two digests per receipt)."""
+    name, arch = REFERENCE
+    _, binary = build_workload(spec_workload(name, arch), arch)
+    payload = binary.to_bytes()
+
+    def experiment(repeats=20):
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            content_digest(binary)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        rewrite_s = _rewrite_seconds(binary, receipt=False)
+        return {
+            "image_bytes": len(payload),
+            "digest_us": best * 1e6,
+            "mib_per_s": (len(payload) / best) / (1 << 20),
+            "share_of_rewrite": 2 * best / rewrite_s,
+        }
+
+    r = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert r["share_of_rewrite"] < DIGEST_BUDGET, (
+        f"two content digests project to {r['share_of_rewrite']:.2%} "
+        f"of a reference rewrite (budget {DIGEST_BUDGET:.0%})"
+    )
+    benchmark.extra_info.update(r)
+    runtime_records({"bench": "receipt_digest",
+                     "benchmark": name, "arch": arch,
+                     "mode": str(MODE), **r})
+    print_section(
+        "Content-digest cost per rewrite receipt",
+        f"reference        : {name} / {arch} / {MODE}\n"
+        f"image size       : {r['image_bytes']} bytes\n"
+        f"digest time      : {r['digest_us']:.1f} us "
+        f"({r['mib_per_s']:.0f} MiB/s)\n"
+        f"share of rewrite : {r['share_of_rewrite']:.3%} "
+        f"(two digests, budget {DIGEST_BUDGET:.0%})",
+    )

@@ -15,6 +15,9 @@ Examples::
     python -m repro perf record --workload 602.sgcc_s
     python -m repro perf report
     python -m repro perf check --fail-on fail
+    python -m repro rewrite --workload 602.sgcc_s --receipt
+    python -m repro receipt list
+    python -m repro receipt diff 7191d390 a3f2c1b0
     python -m repro run sgcc.rw
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
@@ -39,11 +42,14 @@ from repro.machine import run_binary
 from repro.obs import (
     FlightRecorder,
     Metrics,
+    ReceiptLedger,
     Tracer,
+    fleet_summary,
     render_degradation,
     render_flight_report,
     render_profile,
 )
+from repro.obs.receipt import DEFAULT_LEDGER
 from repro.toolchain.workloads import (
     SPEC_BENCHMARK_NAMES,
     build_workload,
@@ -144,16 +150,35 @@ def cmd_build(args):
     return 0
 
 
+def _receipt_recorder(path, workload):
+    """(sink, receipts) pair: the sink persists into the ledger at
+    ``path`` and keeps each receipt for in-process reporting."""
+    ledger = ReceiptLedger(path)
+    receipts = []
+
+    def sink(receipt):
+        ledger.append(receipt)
+        receipts.append(receipt)
+
+    return sink, receipts
+
+
 def cmd_rewrite(args):
     program, binary = _load_workload(args.workload, args.arch, args.pie)
     instrumentation = (CountingInstrumentation()
                        if args.instrument == "counting"
                        else EmptyInstrumentation())
-    observing = args.profile or args.trace
+    # Receipts need the trace's per-stage timings, so --receipt implies
+    # a tracer even without --profile/--trace.
+    observing = args.profile or args.trace or args.receipt
     tracer = Tracer(name=f"rewrite:{args.workload}") if observing \
         else None
     metrics = Metrics() if (observing or not args.no_cache) else None
     cache = _make_cache(args)
+    receipt_sink = receipts = None
+    if args.receipt:
+        receipt_sink, receipts = _receipt_recorder(args.receipt,
+                                                   args.workload)
     try:
         rewritten, report, runtime = rewrite_binary(
             binary, RewriteMode.parse(args.mode),
@@ -162,9 +187,13 @@ def cmd_rewrite(args):
             tracer=tracer, metrics=metrics,
             cache=cache, jobs=args.jobs,
             degrade=not args.no_degrade,
+            receipt_sink=receipt_sink, workload=args.workload,
         )
     except ReproError as exc:
         print(f"rewrite refused: {exc}", file=sys.stderr)
+        if receipts:
+            print(f"receipt       : {receipts[-1].short_id} [failed] "
+                  f"-> {args.receipt}", file=sys.stderr)
         if args.profile and tracer is not None:
             print(render_profile(tracer), file=sys.stderr)
         return EXIT_REWRITE_ERROR
@@ -191,6 +220,9 @@ def cmd_rewrite(args):
         print(f"degraded      : {lines[0]}")
         for line in lines[1:]:
             print(line)
+    if receipts:
+        print(f"receipt       : {receipts[-1].short_id} "
+              f"-> {args.receipt}")
     if args.output:
         print(f"written       : {args.output}")
     diverged = False
@@ -220,8 +252,17 @@ def cmd_batch(args):
     after the first (and every ``--repeat`` round) reuses cached
     per-function artifacts, and ``--jobs N`` spreads the remaining
     analyses over a pool.
+
+    Unless ``--no-receipts``, every rewrite (failed ones included)
+    appends a provenance receipt to the ledger at ``--receipts``, and
+    the whole batch closes with one fleet-summary row.
     """
     cache = _make_cache(args)
+    receipt_sink = batch_receipts = None
+    receipt_path = None if args.no_receipts else args.receipts
+    if receipt_path:
+        receipt_sink, batch_receipts = _receipt_recorder(receipt_path,
+                                                         None)
     failures = 0
     runs = []
     loaded = {}
@@ -243,11 +284,17 @@ def cmd_batch(args):
                     continue
             _, binary = loaded[name]
             metrics = Metrics()
+            # One tracer per rewrite so each receipt gets its own
+            # per-stage timings.
+            tracer = (Tracer(name=f"batch:{name}")
+                      if receipt_sink is not None else None)
             t0 = time.perf_counter()
             try:
                 rewritten, report, _ = rewrite_binary(
                     binary, RewriteMode.parse(args.mode),
-                    metrics=metrics, cache=cache, jobs=args.jobs,
+                    tracer=tracer, metrics=metrics, cache=cache,
+                    jobs=args.jobs,
+                    receipt_sink=receipt_sink, workload=name,
                 )
             except ReproError as exc:
                 failures += 1
@@ -274,6 +321,11 @@ def cmd_batch(args):
         print(f"[cache: {stats['entries']} entries, {stats['hits']} hits"
               f" / {stats['misses']} misses, {stats['stores']} stores]",
               file=sys.stderr)
+    if batch_receipts:
+        ReceiptLedger(receipt_path).append_summary(
+            fleet_summary(batch_receipts))
+        print(f"[{len(batch_receipts)} receipt(s) + fleet summary "
+              f"-> {receipt_path}]", file=sys.stderr)
     if load_failed and load_failed >= set(args.workloads):
         return EXIT_LOAD_ERROR   # nothing in the batch even loaded
     return EXIT_REWRITE_ERROR if failures else 0
@@ -364,6 +416,17 @@ def cmd_perf(args):
         render_sentinel_report,
         render_trend,
     )
+    from repro.obs.observatory import SEVERITIES
+
+    # Validate the gate up front — even before `record`/`report`, a
+    # typoed grade name should fail loudly, never silently default.
+    if args.fail_on not in SEVERITIES or args.fail_on == "ok":
+        valid = ", ".join(s for s in SEVERITIES if s != "ok")
+        raise CliError(
+            f"unknown --fail-on grade {args.fail_on!r}; "
+            f"valid grades: {valid}",
+            EXIT_LOAD_ERROR,
+        )
 
     history = BenchHistory(args.history)
     if args.action == "record":
@@ -413,8 +476,59 @@ def cmd_perf(args):
     sentinel = RegressionSentinel(window=args.window)
     verdict = sentinel.check(samples)
     print(render_sentinel_report(verdict))
-    gate = ("warn", "fail") if args.fail_on == "warn" else ("fail",)
+    gate = SEVERITIES[SEVERITIES.index(args.fail_on):]
     return EXIT_PERF_REGRESSION if verdict.grade in gate else 0
+
+
+def cmd_receipt(args):
+    """The provenance ledger: list receipts, show one, diff two.
+
+    ``diff`` answers the reproducibility question first — do the two
+    rewrites agree on the output digest? — then explains the cost
+    difference (stage timings, cache accounting, degradation shape).
+    It exits :data:`EXIT_DIVERGED` when both receipts carry an output
+    digest and they differ.
+    """
+    from repro.obs import (
+        diff_receipts,
+        render_receipt,
+        render_receipt_diff,
+        render_receipt_list,
+    )
+
+    ledger = ReceiptLedger(args.ledger)
+    receipts = ledger.load()
+    if ledger.skipped:
+        print(f"[{ledger.skipped} corrupt/foreign ledger line"
+              f"{'' if ledger.skipped == 1 else 's'} skipped]",
+              file=sys.stderr)
+
+    wanted = {"list": 0, "show": 1, "diff": 2}[args.action]
+    if len(args.ids) != wanted:
+        raise CliError(
+            f"receipt {args.action} takes {wanted} receipt id(s), "
+            f"got {len(args.ids)}",
+            EXIT_LOAD_ERROR,
+        )
+
+    if args.action == "list":
+        print(render_receipt_list(receipts, ledger.skipped,
+                                  ledger.summaries))
+        return 0
+
+    try:
+        found = [ledger.find(id_prefix) for id_prefix in args.ids]
+    except LookupError as exc:
+        raise CliError(str(exc), EXIT_LOAD_ERROR)
+
+    if args.action == "show":
+        print(render_receipt(found[0]))
+        return 0
+
+    a, b = found
+    diff = diff_receipts(a, b)
+    print(render_receipt_diff(a, b, diff))
+    return EXIT_DIVERGED if diff["same_output"] is False else 0
 
 
 def cmd_run(args):
@@ -558,6 +672,10 @@ def build_parser():
     p.add_argument("--no-degrade", action="store_true",
                    help="refuse the whole binary instead of walking "
                         "unsupported functions down the mode ladder")
+    p.add_argument("--receipt", nargs="?", const=DEFAULT_LEDGER,
+                   default=None, metavar="LEDGER",
+                   help="append a provenance receipt to LEDGER "
+                        f"(default {DEFAULT_LEDGER})")
     p.add_argument("-o", "--output")
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_rewrite)
@@ -577,6 +695,11 @@ def build_parser():
                         "rounds)")
     p.add_argument("--out-dir", metavar="DIR",
                    help="write rewritten binaries under DIR")
+    p.add_argument("--receipts", default=DEFAULT_LEDGER, metavar="FILE",
+                   help="receipt ledger the batch appends to "
+                        f"(default {DEFAULT_LEDGER})")
+    p.add_argument("--no-receipts", action="store_true",
+                   help="skip receipt emission")
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_batch)
 
@@ -629,11 +752,24 @@ def build_parser():
     p.add_argument("--window", type=int, default=5, metavar="N",
                    help="rolling baseline size / report depth "
                         "(default 5)")
-    p.add_argument("--fail-on", choices=["warn", "fail"],
-                   default="fail",
+    # Validated in cmd_perf against the SEVERITIES ladder so unknown
+    # grade names fail loudly with the valid options listed.
+    p.add_argument("--fail-on", default="fail", metavar="GRADE",
                    help="check: lowest severity that exits nonzero "
-                        "(default fail)")
+                        "(info, warn or fail; default fail)")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "receipt",
+        help="inspect the rewrite-receipt ledger (provenance records)",
+    )
+    p.add_argument("action", choices=["list", "show", "diff"])
+    p.add_argument("ids", nargs="*", metavar="ID",
+                   help="receipt id prefix(es): one for show, two for "
+                        "diff")
+    p.add_argument("--ledger", default=DEFAULT_LEDGER, metavar="FILE",
+                   help=f"receipt ledger (default {DEFAULT_LEDGER})")
+    p.set_defaults(func=cmd_receipt)
 
     p = sub.add_parser("run", help="run a (possibly rewritten) binary")
     p.add_argument("binary")

@@ -25,6 +25,8 @@ produce byte-identical binaries.
 """
 
 import concurrent.futures
+import threading
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
@@ -34,7 +36,7 @@ from repro.core.cache import (
     function_bytes_digest,
     image_digest,
 )
-from repro.obs import NULL_METRICS, Span
+from repro.obs import Metrics, NULL_METRICS, Span
 
 __all__ = [
     "FunctionWorkItem",
@@ -44,6 +46,8 @@ __all__ = [
     "PoolExecutor",
     "make_executor",
     "record_completed_span",
+    "run_accounted",
+    "worker_metrics",
     "options_key",
 ]
 
@@ -163,6 +167,58 @@ def work_item_for(binary, name, entry, range_end=None, pad_handlers=()):
     )
 
 
+# -- worker accounting ------------------------------------------------------
+
+#: Per-thread (and, in a process pool, per-process) slot holding the
+#: metrics registry of the work item currently executing — installed by
+#: :func:`run_accounted` around every task.
+_WORKER_STATE = threading.local()
+
+
+def worker_metrics():
+    """The running work item's own metrics registry.
+
+    Task code (``_construct_work``, ``_funcptr_work``, custom
+    instrumentation passes) records through this instead of a captured
+    parent registry: the executor installs a fresh registry around each
+    task and ships its deltas back for merge, so the counters land in
+    the parent no matter which side of a process boundary the task ran
+    on.  Outside a task this is :data:`~repro.obs.NULL_METRICS`.
+    """
+    return getattr(_WORKER_STATE, "metrics", None) or NULL_METRICS
+
+
+def run_accounted(fn, task, fault=None):
+    """Run one work item under fleet-accurate accounting.
+
+    Returns ``(result, deltas)`` where ``deltas`` is the plain-data
+    :meth:`repro.obs.Metrics.deltas` snapshot of everything the task
+    recorded — its ``worker.tasks`` completion tick, its wall seconds
+    (``worker.task_seconds``), and whatever the task itself counted via
+    :func:`worker_metrics`.  Module-level (not a closure or bound
+    method) so a process pool can pickle it; the deltas travel back
+    over the result pipe, which is what keeps ``--jobs N`` receipts as
+    accurate as serial ones — worker-side accounting used to die with
+    the worker process.
+
+    ``fault`` (a chaos-harness injector) is consulted before the task
+    body, in the worker, modelling per-item worker crashes.
+    """
+    local = Metrics()
+    previous = getattr(_WORKER_STATE, "metrics", None)
+    _WORKER_STATE.metrics = local
+    t0 = time.perf_counter()
+    try:
+        if fault is not None:
+            fault.maybe_crash()
+        value = fn(task)
+    finally:
+        _WORKER_STATE.metrics = previous
+    local.inc("worker.tasks")
+    local.observe("worker.task_seconds", time.perf_counter() - t0)
+    return value, local.deltas()
+
+
 # -- executors -------------------------------------------------------------
 
 #: How many times one crashed work item is re-run serially before its
@@ -188,9 +244,8 @@ def _run_with_retries(fn, task, retries, metrics, where, fault=None):
     attempt = 0
     while True:
         try:
-            if attempt == 0 and fault is not None:
-                fault.maybe_crash()
-            return fn(task)
+            value, deltas = run_accounted(
+                fn, task, fault=fault if attempt == 0 else None)
         except Exception:
             metrics.inc("worker.crashes")
             if attempt >= retries:
@@ -198,6 +253,9 @@ def _run_with_retries(fn, task, retries, metrics, where, fault=None):
             attempt += 1
             metrics.inc("worker.retries")
             metrics.inc(f"worker.{where}.retries")
+        else:
+            metrics.merge_deltas(deltas)
+            return value
 
 
 class SerialExecutor:
@@ -263,11 +321,6 @@ class PoolExecutor:
         #: set after ``BrokenProcessPool``: all later batches run serial
         self.broken = False
 
-    def _task(self, fn, task):
-        if self.fault is not None:
-            self.fault.maybe_crash()
-        return fn(task)
-
     def _serial(self, fn, tasks):
         return [
             _run_with_retries(fn, task, self.retries, self.metrics,
@@ -286,7 +339,11 @@ class PoolExecutor:
                 self._mark_broken()
                 return self._serial(fn, tasks)
         try:
-            futures = [self._pool.submit(self._task, fn, task)
+            # run_accounted is module-level so a process pool pickles a
+            # plain function reference, not this executor (whose live
+            # pool handle could never cross the fork).
+            futures = [self._pool.submit(run_accounted, fn, task,
+                                         self.fault)
                        for task in tasks]
         except (RuntimeError, BrokenProcessPool):
             # shutdown/broken pool at submission time
@@ -295,7 +352,9 @@ class PoolExecutor:
         results = []
         for task, future in zip(tasks, futures):
             try:
-                results.append(future.result())
+                value, deltas = future.result()
+                self.metrics.merge_deltas(deltas)
+                results.append(value)
             except BrokenProcessPool:
                 # The pool is gone: every remaining future is doomed
                 # too.  Mark it and finish this batch serially from the

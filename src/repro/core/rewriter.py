@@ -29,6 +29,7 @@ Every stage runs under a trace span (:data:`PIPELINE_STAGES`, see
 ``function-degraded`` event, both carrying Figure-2 categories.
 """
 
+import time
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional
 
@@ -54,7 +55,12 @@ from repro.core.trampolines import ScratchPool, TrampolineInstaller
 from repro.isa import get_arch
 from repro.isa.archspec import ILLEGAL_BYTE
 from repro.obs import NULL_METRICS, NULL_TRACER
-from repro.util.errors import RewriteError
+from repro.obs.receipt import (
+    RewriteReceipt,
+    delta_metrics,
+    snapshot_metrics,
+)
+from repro.util.errors import ReproError, RewriteError
 
 #: Trace span names of the eight pipeline stages (module docstring),
 #: opened in this order by :meth:`IncrementalRewriter.rewrite`.  Stages a
@@ -145,7 +151,7 @@ class IncrementalRewriter:
                  function_order="address", block_order="address",
                  tracer=None, metrics=None, cache=None, executor=None,
                  jobs=1, executor_kind="thread", degrade=True,
-                 worker_faults=None):
+                 worker_faults=None, receipt_sink=None, workload=None):
         self.mode = (RewriteMode.parse(mode) if isinstance(mode, str)
                      else mode)
         self.instrumentation = instrumentation or EmptyInstrumentation()
@@ -181,6 +187,14 @@ class IncrementalRewriter:
         #: :class:`repro.analysis.failures.WorkerFaultInjector` consulted
         #: by executors this rewriter creates (chaos harness); None = off
         self.worker_faults = worker_faults
+        #: provenance sink: a :class:`repro.obs.ReceiptLedger` (or any
+        #: callable) receiving one :class:`repro.obs.RewriteReceipt` per
+        #: rewrite — failed rewrites included; None disables receipts
+        self.receipt_sink = receipt_sink
+        #: workload label stamped on emitted receipts
+        self.workload = workload
+        #: the most recent rewrite's receipt (None until one is emitted)
+        self.last_receipt = None
 
     # -- public ---------------------------------------------------------------
 
@@ -189,12 +203,28 @@ class IncrementalRewriter:
 
         Each pipeline stage runs under a :data:`PIPELINE_STAGES` trace
         span; per-function failures become ``function-skipped`` events.
+        With a :attr:`receipt_sink` attached, every rewrite — failed
+        ones included — additionally emits one
+        :class:`repro.obs.RewriteReceipt` (kept on
+        :attr:`last_receipt`) before the result or error propagates.
         """
         tr = self.tracer
         metrics = self.metrics
-        with tr.span("rewrite", mode=str(self.mode),
-                     arch=binary.arch_name) as rewrite_span:
-            result = self._rewrite_traced(binary, tr, metrics)
+        emit = self.receipt_sink is not None
+        before = snapshot_metrics(metrics) if emit else None
+        t0 = time.perf_counter()
+        error = None
+        rewritten = report = None
+        rewrite_span = None
+        try:
+            with tr.span("rewrite", mode=str(self.mode),
+                         arch=binary.arch_name) as rewrite_span:
+                rewritten, report = self._rewrite_traced(
+                    binary, tr, metrics)
+        except ReproError as exc:
+            if not emit:
+                raise
+            error = exc
         # Memory accounting (Tracer(memory=True)) lands per-stage peaks
         # on the stage spans; mirror the whole-rewrite peak and each
         # stage's peak onto the metrics registry so PerfSample builders
@@ -208,7 +238,43 @@ class IncrementalRewriter:
                     metrics.set_gauge(
                         f"rewrite.stage.{stage.name}.mem_peak_bytes",
                         stage.mem_peak)
-        return result
+        if emit:
+            self._emit_receipt(binary, rewritten, report, rewrite_span,
+                               before, time.perf_counter() - t0, error)
+            if error is not None:
+                raise error
+        return rewritten, report
+
+    def resolved_options(self):
+        """The receipt's resolved option set: every reproducibility-
+        relevant knob as it actually applied to this rewrite."""
+        return {
+            "mode": str(self.mode),
+            "jobs": self.jobs,
+            "executor": self.executor_kind,
+            "cache": self.cache is not None,
+            "degrade": self.degrade,
+            "scorch_original": self.scorch_original,
+            "call_emulation": self.call_emulation,
+            "function_order": self.function_order,
+            "block_order": self.block_order,
+        }
+
+    def _emit_receipt(self, binary, rewritten, report, span, before,
+                      total_seconds, error):
+        receipt = RewriteReceipt.from_rewrite(
+            binary, rewritten, report, span,
+            delta_metrics(before, snapshot_metrics(self.metrics)),
+            total_seconds,
+            workload=self.workload,
+            options=self.resolved_options(),
+            error=error,
+        )
+        self.last_receipt = receipt
+        sink = self.receipt_sink
+        append = getattr(sink, "append", None)
+        (append if append is not None else sink)(receipt)
+        return receipt
 
     def _rewrite_traced(self, binary, tr, metrics):
         spec = get_arch(binary.arch_name)

@@ -70,6 +70,9 @@ class ToolRun:
     #: the :class:`repro.obs.FlightRecorder` that observed this run
     #: (None when flight recording was not requested)
     flight: object = field(default=None, repr=False)
+    #: the rewrite's :class:`repro.obs.RewriteReceipt` (None for tools
+    #: without receipt support)
+    receipt: object = field(default=None, repr=False)
 
 
 def make_tool(name, instrumentation=None, scorch=True, **kwargs):
@@ -121,10 +124,14 @@ def _cache_snapshot(metrics):
     )
 
 
+def _discard_receipt(receipt):
+    """No-op sink: enables receipt emission without persistence."""
+
+
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                   instrumentation=None, tracer=None, metrics=None,
                   flight=None, cache=None, jobs=None, faults=None,
-                  **tool_kwargs):
+                  receipt_sink=None, **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
@@ -153,10 +160,16 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     entries of ``cache`` before the rewrite.  The run itself is judged
     exactly as without faults — the invariant under test is that the
     output binary still matches the oracle and only coverage drops.
+
+    ``receipt_sink`` (a :class:`repro.obs.ReceiptLedger` or callable)
+    persists the rewrite's provenance receipt; even without one, tools
+    that speak receipts get a discard sink so the receipt is still
+    assembled and attached to :attr:`ToolRun.receipt`.
     """
     attach = tracer if tracer is not None else None
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_METRICS
+    rewriter = None
     try:
         rewriter = make_tool(tool, instrumentation=instrumentation,
                              **tool_kwargs)
@@ -168,6 +181,13 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
             rewriter.cache = cache
         if jobs is not None:
             rewriter.jobs = jobs
+        if hasattr(rewriter, "receipt_sink"):
+            # Not every baseline is an IncrementalRewriter; only wire
+            # receipts into tools that emit them.
+            rewriter.receipt_sink = (receipt_sink
+                                     if receipt_sink is not None
+                                     else _discard_receipt)
+            rewriter.workload = benchmark or None
         if faults is not None:
             _apply_faults(rewriter, faults, cache)
         before = _cache_snapshot(metrics)
@@ -184,7 +204,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                      error=error)
         metrics.inc("harness.errors")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
-                       error=error, trace=attach, flight=flight)
+                       error=error, trace=attach, flight=flight,
+                       receipt=getattr(rewriter, "last_receipt", None))
     mem_peak = None
     if attach is not None:
         rewrite_span = attach.find("rewrite")
@@ -199,7 +220,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                        flight=flight, cache_hits=cache_stats[0],
                        cache_misses=cache_stats[1],
                        analysis_seconds_saved=cache_stats[2],
-                       mem_peak=mem_peak)
+                       mem_peak=mem_peak,
+                       receipt=getattr(rewriter, "last_receipt", None))
     return ToolRun(
         tool=tool,
         benchmark=benchmark,
@@ -223,6 +245,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         report=report,
         trace=attach,
         flight=flight,
+        receipt=getattr(rewriter, "last_receipt", None),
     )
 
 

@@ -13,6 +13,11 @@ near-zero cost.
 trajectory: a shared :class:`PerfSample` schema, the append-only
 :class:`BenchHistory` behind ``BENCH_history.json``, and the
 :class:`RegressionSentinel` that gates CI on cross-run regressions.
+
+:mod:`repro.obs.receipt` is the provenance layer: one schema-versioned,
+content-addressed :class:`RewriteReceipt` per rewrite, persisted in the
+append-only :class:`ReceiptLedger` — both speaking the shared store
+discipline of :mod:`repro.obs.store`.
 """
 
 from repro.obs.degrade import render_degradation
@@ -26,6 +31,19 @@ from repro.obs.observatory import (
     render_trend,
     stamp_record,
 )
+from repro.obs.receipt import (
+    ReceiptLedger,
+    RewriteReceipt,
+    content_digest,
+    delta_metrics,
+    diff_receipts,
+    fleet_summary,
+    render_receipt,
+    render_receipt_diff,
+    render_receipt_list,
+    snapshot_metrics,
+)
+from repro.obs.store import JsonlStore, atomic_write_text, parse_entries
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -66,4 +84,17 @@ __all__ = [
     "render_sentinel_report",
     "render_trend",
     "stamp_record",
+    "RewriteReceipt",
+    "ReceiptLedger",
+    "content_digest",
+    "snapshot_metrics",
+    "delta_metrics",
+    "fleet_summary",
+    "diff_receipts",
+    "render_receipt",
+    "render_receipt_list",
+    "render_receipt_diff",
+    "JsonlStore",
+    "atomic_write_text",
+    "parse_entries",
 ]

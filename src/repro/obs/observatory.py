@@ -29,9 +29,9 @@ import platform
 import statistics
 import subprocess
 import sys
-import tempfile
 import time
 
+from repro.obs.store import atomic_write_text, parse_entries
 from repro.obs.trace import format_bytes
 
 #: Schema tags; bump the version when a field changes meaning.
@@ -278,11 +278,13 @@ class BenchHistory:
     """Append-only store behind ``BENCH_history.json``.
 
     The document is ``{"schema": "BENCH_history/v1", "samples": [...]}``.
-    Writes are atomic (temp file + ``os.replace``).  Loading skips —
-    and counts on :attr:`skipped` — entries that are corrupt or carry a
-    foreign schema; appending preserves those raw entries verbatim, so a
-    newer writer never destroys an older (or future) reader's data.  An
-    unparseable *document* starts a fresh history rather than crashing.
+    Writes are atomic and loading skips — and counts on :attr:`skipped`
+    — entries that are corrupt or carry a foreign schema, while
+    appending preserves those raw entries verbatim, so a newer writer
+    never destroys an older (or future) reader's data: the shared obs
+    persistence discipline of :mod:`repro.obs.store` (the receipt
+    ledger speaks it too).  An unparseable *document* starts a fresh
+    history rather than crashing.
     """
 
     def __init__(self, path=DEFAULT_HISTORY):
@@ -306,16 +308,10 @@ class BenchHistory:
     def load(self):
         """Every parseable :class:`PerfSample`, oldest first."""
         raw = self._read_raw()
-        self.skipped = 0
         if raw is None:
             self.skipped = 1 if os.path.exists(self.path) else 0
             return []
-        samples = []
-        for entry in raw:
-            try:
-                samples.append(PerfSample.from_dict(entry))
-            except ValueError:
-                self.skipped += 1
+        samples, self.skipped = parse_entries(raw, PerfSample.from_dict)
         return samples
 
     def append(self, sample):
@@ -325,20 +321,8 @@ class BenchHistory:
             raw = []
         raw.append(sample.to_dict())
         doc = {"schema": HISTORY_SCHEMA, "samples": raw}
-        directory = os.path.dirname(os.path.abspath(self.path))
-        fd, tmp = tempfile.mkstemp(prefix=".bench-history-",
-                                   dir=directory)
-        try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(doc, f, indent=2)
-            os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return self.path
+        return atomic_write_text(self.path, json.dumps(doc, indent=2),
+                                 prefix=".bench-history-")
 
 
 # -- the regression sentinel ------------------------------------------------

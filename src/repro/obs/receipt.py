@@ -1,0 +1,621 @@
+"""Rewrite receipts: typed per-rewrite provenance and their ledger.
+
+A :class:`RewriteReceipt` is the single auditable record of one rewrite
+— the answer to "what exactly produced this binary?": input/output
+content digests, the resolved option set, the environment fingerprint,
+per-stage wall and memory cost, cache and worker-fleet accounting, the
+degradation ladder's verdict, and the outcome (with a typed error when
+the rewrite failed).  Receipts are schema-versioned and
+content-addressed: the ``receipt_id`` is the SHA-256 of the canonical
+JSON body, so a tampered or miscopied receipt no longer verifies.
+
+Receipts are what the planned rewriting-as-a-service layer diffs: two
+receipts with the same input digest and options must agree on the
+output digest (the reproducibility contract), and their cache/stage
+deltas explain where a warm rewrite's speedup came from.
+
+The :class:`ReceiptLedger` persists receipts as JSON lines under the
+shared obs store discipline (:mod:`repro.obs.store`): atomic writes,
+corrupt/foreign lines skipped-and-counted on load but preserved on
+append.  Fleet summaries (``repro batch``) live in the same file under
+their own schema tag.
+
+Everything here speaks plain data and duck types its inputs — this
+module never imports :mod:`repro.core`.
+"""
+
+import hashlib
+import json
+import time
+
+from repro.obs.observatory import EnvFingerprint
+from repro.obs.store import JsonlStore
+from repro.obs.trace import format_bytes
+
+#: Schema tags; bump the version when a field changes meaning.
+RECEIPT_SCHEMA = "RewriteReceipt/v1"
+FLEET_SCHEMA = "RewriteFleet/v1"
+
+DEFAULT_LEDGER = "RECEIPTS.jsonl"
+
+_SESSION_FINGERPRINT = None
+
+
+def session_fingerprint():
+    """The process-wide :class:`EnvFingerprint`, collected once.
+
+    ``EnvFingerprint.collect()`` shells out for the git sha — a few
+    milliseconds, which would dominate receipt assembly if paid per
+    rewrite.  The environment cannot change under a running process,
+    so every receipt shares one collection.
+    """
+    global _SESSION_FINGERPRINT
+    if _SESSION_FINGERPRINT is None:
+        _SESSION_FINGERPRINT = EnvFingerprint.collect()
+    return _SESSION_FINGERPRINT
+
+
+__all__ = [
+    "RECEIPT_SCHEMA",
+    "FLEET_SCHEMA",
+    "DEFAULT_LEDGER",
+    "session_fingerprint",
+    "RewriteReceipt",
+    "ReceiptLedger",
+    "content_digest",
+    "snapshot_metrics",
+    "delta_metrics",
+    "fleet_summary",
+    "diff_receipts",
+    "render_receipt",
+    "render_receipt_list",
+    "render_receipt_diff",
+]
+
+
+def content_digest(obj):
+    """SHA-256 hex digest of anything with ``to_bytes()`` (or raw
+    bytes); None for None — the input/output identity of a receipt."""
+    if obj is None:
+        return None
+    data = obj.to_bytes() if hasattr(obj, "to_bytes") else bytes(obj)
+    return hashlib.sha256(data).hexdigest()
+
+
+# -- metrics snapshots -------------------------------------------------------
+#
+# Receipts must account one rewrite even when the metrics registry is
+# shared across rewrites (the harness reuses one registry per tool):
+# snapshot before, snapshot after, subtract.
+
+
+def snapshot_metrics(metrics):
+    """Plain-data point-in-time reading of a registry: counter values
+    plus histogram sums (the two monotonic quantities receipts use)."""
+    data = metrics.as_dict() if hasattr(metrics, "as_dict") else {}
+    return {
+        "counters": dict(data.get("counters", {})),
+        "sums": {name: summary.get("sum", 0)
+                 for name, summary in data.get("histograms", {}).items()},
+    }
+
+
+def delta_metrics(before, after):
+    """What one rewrite added: ``after - before``, zero entries elided."""
+    out = {"counters": {}, "sums": {}}
+    for section in ("counters", "sums"):
+        base = before.get(section, {})
+        for name, value in after.get(section, {}).items():
+            delta = value - base.get(name, 0)
+            if delta:
+                out[section][name] = delta
+    return out
+
+
+def _cache_section(delta):
+    """The receipt's cache accounting, parsed out of ``cache.*``."""
+    counters = delta.get("counters", {})
+    section = {
+        "hits": counters.get("cache.hits", 0),
+        "misses": counters.get("cache.misses", 0),
+        "stores": counters.get("cache.stores", 0),
+        "saved_seconds": delta.get("sums", {}).get(
+            "cache.seconds_saved", 0.0),
+    }
+    by_kind = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "cache" \
+                and parts[2] in ("hits", "misses"):
+            by_kind.setdefault(parts[1], {})[parts[2]] = value
+    if by_kind:
+        section["by_kind"] = by_kind
+    return section
+
+
+def _worker_section(delta):
+    """The receipt's worker-fleet accounting, parsed out of
+    ``worker.*`` — accurate under ``--jobs N`` because pool workers
+    ship their deltas home (:func:`repro.core.pipeline.run_accounted`)."""
+    counters = delta.get("counters", {})
+    section = {name[len("worker."):]: value
+               for name, value in counters.items()
+               if name.startswith("worker.")}
+    seconds = delta.get("sums", {}).get("worker.task_seconds")
+    if seconds is not None:
+        section["task_seconds"] = seconds
+    return section
+
+
+def _stage_section(span):
+    """Per-stage wall + memory off the rewrite span's children."""
+    stages = {}
+    for child in getattr(span, "children", ()) or ():
+        entry = {"seconds": child.duration}
+        if child.mem_peak is not None:
+            entry["mem_peak"] = child.mem_peak
+        stages[child.name] = entry
+    return stages
+
+
+class RewriteReceipt:
+    """One rewrite's typed provenance record (see module docstring)."""
+
+    __slots__ = ("workload", "arch", "mode", "input_digest",
+                 "output_digest", "options", "fingerprint",
+                 "total_seconds", "stages", "mem_peak", "cache",
+                 "workers", "degradation", "outcome", "error",
+                 "unix_time")
+
+    def __init__(self, workload, arch, mode, input_digest,
+                 output_digest=None, options=None, fingerprint=None,
+                 total_seconds=0.0, stages=None, mem_peak=None,
+                 cache=None, workers=None, degradation=None,
+                 outcome="ok", error=None, unix_time=None):
+        self.workload = workload
+        self.arch = arch
+        self.mode = mode
+        self.input_digest = input_digest
+        #: None when the rewrite failed before producing output
+        self.output_digest = output_digest
+        #: the resolved option set (mode/jobs/cache/degrade/...)
+        self.options = dict(options or {})
+        self.fingerprint = fingerprint or session_fingerprint()
+        self.total_seconds = total_seconds
+        #: stage name -> {"seconds": ..., "mem_peak"?: ...}
+        self.stages = dict(stages or {})
+        self.mem_peak = mem_peak
+        self.cache = dict(cache or {})
+        self.workers = dict(workers or {})
+        #: DegradationReport.as_dict() payload, or None
+        self.degradation = degradation
+        #: "ok" or "failed"
+        self.outcome = outcome
+        #: {"type": ..., "message": ...} when the rewrite failed
+        self.error = dict(error) if error else None
+        self.unix_time = time.time() if unix_time is None else unix_time
+
+    @classmethod
+    def from_rewrite(cls, binary, rewritten, report, span, delta,
+                     total_seconds, workload=None, options=None,
+                     fingerprint=None, error=None):
+        """Assemble a receipt off one observed rewrite.
+
+        Duck-typed: ``binary``/``rewritten`` need ``to_bytes()`` (and
+        the input's ``arch_name``), ``report`` a
+        :class:`~repro.core.rewriter.RewriteReport` shape (may be None
+        on failure), ``span`` the finished ``rewrite`` trace span (or a
+        null span), ``delta`` a :func:`delta_metrics` result for just
+        this rewrite.
+        """
+        mode = getattr(report, "mode", None) \
+            or (options or {}).get("mode", "?")
+        degradation = None
+        deg = getattr(report, "degradation", None)
+        if deg is not None and len(deg):
+            degradation = deg.as_dict()
+        err = None
+        if error is not None:
+            err = {"type": type(error).__name__, "message": str(error)}
+        return cls(
+            workload=workload,
+            arch=getattr(binary, "arch_name", "?"),
+            mode=str(mode),
+            input_digest=content_digest(binary),
+            output_digest=content_digest(rewritten),
+            options=options,
+            fingerprint=fingerprint,
+            total_seconds=total_seconds,
+            stages=_stage_section(span),
+            mem_peak=getattr(span, "mem_peak", None),
+            cache=_cache_section(delta),
+            workers=_worker_section(delta),
+            degradation=degradation,
+            outcome="ok" if error is None else "failed",
+            error=err,
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    def body_dict(self):
+        """The id-covered payload: everything but the id itself."""
+        out = {
+            "schema": RECEIPT_SCHEMA,
+            "workload": self.workload,
+            "arch": self.arch,
+            "mode": self.mode,
+            "input_digest": self.input_digest,
+            "options": dict(self.options),
+            "fingerprint": self.fingerprint.to_dict(),
+            "total_seconds": self.total_seconds,
+            "stages": dict(self.stages),
+            "cache": dict(self.cache),
+            "workers": dict(self.workers),
+            "outcome": self.outcome,
+            "unix_time": self.unix_time,
+        }
+        if self.output_digest is not None:
+            out["output_digest"] = self.output_digest
+        if self.mem_peak is not None:
+            out["mem_peak"] = self.mem_peak
+        if self.degradation is not None:
+            out["degradation"] = self.degradation
+        if self.error is not None:
+            out["error"] = dict(self.error)
+        return out
+
+    @property
+    def receipt_id(self):
+        """Content address: SHA-256 of the canonical JSON body."""
+        canonical = json.dumps(self.body_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def short_id(self):
+        return self.receipt_id[:12]
+
+    def verify(self, claimed_id):
+        """Does ``claimed_id`` still match this receipt's content?"""
+        return claimed_id == self.receipt_id
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        out = self.body_dict()
+        out["receipt_id"] = self.receipt_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Parse one ledger entry; raises ValueError on corrupt or
+        foreign input (wrong shape, missing schema, alien schema)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"not a receipt object: {type(data).__name__}")
+        schema = data.get("schema", "")
+        if not isinstance(schema, str) \
+                or not schema.startswith("RewriteReceipt/"):
+            raise ValueError(f"foreign schema {schema!r}")
+        try:
+            return cls(
+                workload=data.get("workload"),
+                arch=data["arch"],
+                mode=data["mode"],
+                input_digest=data["input_digest"],
+                output_digest=data.get("output_digest"),
+                options=dict(data.get("options", {})),
+                fingerprint=EnvFingerprint.from_dict(
+                    data["fingerprint"]),
+                total_seconds=float(data["total_seconds"]),
+                stages=dict(data.get("stages", {})),
+                mem_peak=data.get("mem_peak"),
+                cache=dict(data.get("cache", {})),
+                workers=dict(data.get("workers", {})),
+                degradation=data.get("degradation"),
+                outcome=data.get("outcome", "ok"),
+                error=data.get("error"),
+                unix_time=data.get("unix_time", 0.0),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"corrupt receipt: {exc}")
+
+    def __repr__(self):
+        return (f"<RewriteReceipt {self.short_id} "
+                f"{self.workload or '?'}/{self.arch}/{self.mode} "
+                f"{self.outcome}>")
+
+
+# -- the ledger --------------------------------------------------------------
+
+
+class ReceiptLedger:
+    """Append-only receipt store behind ``RECEIPTS.jsonl``.
+
+    One JSON object per line: receipts under ``RewriteReceipt/*`` and
+    fleet summaries under ``RewriteFleet/*`` (collected on
+    :attr:`summaries`, not counted as foreign).  Loading skips — and
+    counts on :attr:`skipped` — lines that are corrupt or speak a
+    schema this reader does not; appending preserves every existing
+    line verbatim: the shared obs store discipline
+    (:mod:`repro.obs.store`, same contract as
+    :class:`~repro.obs.observatory.BenchHistory`).
+    """
+
+    def __init__(self, path=DEFAULT_LEDGER):
+        self.path = path
+        self._store = JsonlStore(path)
+        #: corrupt/foreign lines seen by the most recent load()
+        self.skipped = 0
+        #: RewriteFleet/* summary rows seen by the most recent load()
+        self.summaries = []
+
+    def load(self):
+        """Every parseable :class:`RewriteReceipt`, oldest first."""
+        raw, bad = self._store.load_raw()
+        receipts = []
+        summaries = []
+        skipped = bad
+        for obj in raw:
+            schema = obj.get("schema", "") if isinstance(obj, dict) \
+                else ""
+            if isinstance(schema, str) \
+                    and schema.startswith("RewriteFleet/"):
+                summaries.append(obj)
+                continue
+            try:
+                receipts.append(RewriteReceipt.from_dict(obj))
+            except ValueError:
+                skipped += 1
+        self.skipped = skipped
+        self.summaries = summaries
+        return receipts
+
+    def append(self, receipt):
+        """Append one receipt; atomic, existing lines preserved."""
+        return self._store.append_raw(receipt.to_dict())
+
+    def append_summary(self, summary):
+        """Append one fleet-summary row (a plain dict under
+        ``RewriteFleet/*``)."""
+        return self._store.append_raw(summary)
+
+    def find(self, id_prefix):
+        """The unique receipt whose id starts with ``id_prefix``.
+
+        Raises :class:`LookupError` when none or several match — a
+        truncated id is only an address while it is unambiguous.
+        """
+        matches = [r for r in self.load()
+                   if r.receipt_id.startswith(id_prefix)]
+        if not matches:
+            raise LookupError(f"no receipt matches {id_prefix!r}")
+        if len(matches) > 1:
+            raise LookupError(
+                f"{id_prefix!r} is ambiguous: {len(matches)} receipts "
+                f"match")
+        return matches[0]
+
+    def query(self, input_digest=None, workload=None, fingerprint=None):
+        """Receipts filtered by input digest, workload, and/or
+        fingerprint key (an :class:`EnvFingerprint` or its ``key``)."""
+        key = getattr(fingerprint, "key", fingerprint)
+        out = []
+        for r in self.load():
+            if input_digest is not None \
+                    and r.input_digest != input_digest:
+                continue
+            if workload is not None and r.workload != workload:
+                continue
+            if key is not None and r.fingerprint.key != tuple(key):
+                continue
+            out.append(r)
+        return out
+
+    def __repr__(self):
+        return f"<ReceiptLedger {self.path}>"
+
+
+def fleet_summary(receipts, unix_time=None):
+    """One ``RewriteFleet/v1`` row aggregating a batch's receipts."""
+    outcomes = {}
+    for r in receipts:
+        outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+    return {
+        "schema": FLEET_SCHEMA,
+        "receipts": [r.receipt_id for r in receipts],
+        "workloads": sorted({r.workload for r in receipts
+                             if r.workload}),
+        "outcomes": outcomes,
+        "total_seconds": sum(r.total_seconds for r in receipts),
+        "cache": {
+            "hits": sum(r.cache.get("hits", 0) for r in receipts),
+            "misses": sum(r.cache.get("misses", 0) for r in receipts),
+        },
+        "worker_tasks": sum(r.workers.get("tasks", 0)
+                            for r in receipts),
+        "unix_time": time.time() if unix_time is None else unix_time,
+    }
+
+
+# -- diffing -----------------------------------------------------------------
+
+
+def diff_receipts(a, b):
+    """A structured comparison of two receipts.
+
+    The reproducibility question first — same input? same output? —
+    then the explanatory deltas: per-stage wall time, cache
+    accounting, and degradation shape.
+    """
+    stage_deltas = {}
+    for name in sorted(set(a.stages) | set(b.stages)):
+        sa = a.stages.get(name, {}).get("seconds")
+        sb = b.stages.get(name, {}).get("seconds")
+        entry = {"a": sa, "b": sb}
+        if sa is not None and sb is not None:
+            entry["delta"] = sb - sa
+        stage_deltas[name] = entry
+    cache_deltas = {}
+    for key in ("hits", "misses", "stores", "saved_seconds"):
+        va = a.cache.get(key, 0)
+        vb = b.cache.get(key, 0)
+        if va or vb:
+            cache_deltas[key] = {"a": va, "b": vb, "delta": vb - va}
+    deg_a = len((a.degradation or {}).get("entries", ()))
+    deg_b = len((b.degradation or {}).get("entries", ()))
+    both_outputs = (a.output_digest is not None
+                    and b.output_digest is not None)
+    return {
+        "a": a.receipt_id,
+        "b": b.receipt_id,
+        "same_input": a.input_digest == b.input_digest,
+        "same_options": a.options == b.options,
+        #: None when either side failed before producing output
+        "same_output": (a.output_digest == b.output_digest
+                        if both_outputs else None),
+        "total_seconds": {"a": a.total_seconds, "b": b.total_seconds,
+                          "delta": b.total_seconds - a.total_seconds},
+        "stage_deltas": stage_deltas,
+        "cache_deltas": cache_deltas,
+        "degradation": {"a": deg_a, "b": deg_b, "delta": deg_b - deg_a},
+    }
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _short(digest, n=12):
+    return digest[:n] if digest else "-"
+
+
+def render_receipt(receipt):
+    """The ``repro receipt show`` body: one receipt, human-readable."""
+    r = receipt
+    lines = [
+        f"receipt {r.short_id}  [{r.outcome}]",
+        f"  workload:  {r.workload or '-'}",
+        f"  arch/mode: {r.arch}/{r.mode}",
+        f"  input:     {_short(r.input_digest, 16)}",
+        f"  output:    {_short(r.output_digest, 16)}",
+    ]
+    if r.options:
+        opts = " ".join(f"{k}={r.options[k]}" for k in sorted(r.options))
+        lines.append(f"  options:   {opts}")
+    fp = r.fingerprint
+    lines.append(f"  env:       py{fp.python} {fp.platform} x{fp.cpus}"
+                 + (f" @{fp.git_sha}" if fp.git_sha else ""))
+    lines.append(f"  total:     {r.total_seconds * 1e3:.1f}ms"
+                 + (f"  mem peak {format_bytes(r.mem_peak)}"
+                    if r.mem_peak is not None else ""))
+    if r.stages:
+        lines.append("  stages:")
+        for name, entry in r.stages.items():
+            mem = entry.get("mem_peak")
+            lines.append(
+                f"    {name:<24} {entry.get('seconds', 0) * 1e3:>8.2f}ms"
+                + (f"  {format_bytes(mem):>9}" if mem is not None
+                   else ""))
+    if r.cache:
+        c = r.cache
+        lines.append(
+            f"  cache:     {c.get('hits', 0)} hit(s) / "
+            f"{c.get('misses', 0)} miss(es), "
+            f"{c.get('stores', 0)} store(s), "
+            f"saved {c.get('saved_seconds', 0) * 1e3:.1f}ms")
+    if r.workers:
+        w = dict(r.workers)
+        seconds = w.pop("task_seconds", None)
+        parts = " ".join(f"{k}={w[k]}" for k in sorted(w))
+        if seconds is not None:
+            parts += f" task_seconds={seconds * 1e3:.1f}ms"
+        lines.append(f"  workers:   {parts}")
+    if r.degradation:
+        entries = r.degradation.get("entries", ())
+        lines.append(f"  degraded:  {len(entries)} function(s)")
+        for entry in entries:
+            lines.append(f"    {entry.get('function', '?')}: "
+                         f"{entry.get('requested', '?')} -> "
+                         f"{entry.get('final', '?')}")
+    if r.error:
+        lines.append(f"  error:     {r.error.get('type', '?')}: "
+                     f"{r.error.get('message', '')}")
+    return "\n".join(lines)
+
+
+def render_receipt_list(receipts, skipped=0, summaries=()):
+    """The ``repro receipt list`` table."""
+    if not receipts and not summaries:
+        return "(empty ledger)"
+    lines = [f"{len(receipts)} receipt(s)"
+             + (f", {len(summaries)} fleet summar"
+                + ("y" if len(summaries) == 1 else "ies")
+                if summaries else "")
+             + (f", {skipped} skipped line(s)" if skipped else "")]
+    if receipts:
+        lines.append(f"  {'id':<12}  {'workload':<16} "
+                     f"{'arch/mode':<12} {'outcome':<7} "
+                     f"{'total':>9}  {'cache h/m':>9}  {'output':<12}")
+        for r in receipts:
+            lines.append(
+                f"  {r.short_id:<12}  {(r.workload or '-'):<16} "
+                f"{r.arch + '/' + r.mode:<12} {r.outcome:<7} "
+                f"{r.total_seconds * 1e3:>7.1f}ms  "
+                f"{r.cache.get('hits', 0)}/{r.cache.get('misses', 0):<5}"
+                f"  {_short(r.output_digest):<12}")
+    for summary in summaries:
+        outcomes = summary.get("outcomes", {})
+        tally = " ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+        lines.append(
+            f"  fleet: {len(summary.get('receipts', ()))} receipt(s) "
+            f"[{tally}] "
+            f"{summary.get('total_seconds', 0) * 1e3:.1f}ms total")
+    return "\n".join(lines)
+
+
+def render_receipt_diff(a, b, diff=None):
+    """The ``repro receipt diff`` body; verdict first, deltas after."""
+    if diff is None:
+        diff = diff_receipts(a, b)
+    lines = [f"receipt diff {a.short_id} -> {b.short_id}"]
+    lines.append(f"  input:   "
+                 + ("identical" if diff["same_input"]
+                    else f"DIFFERENT ({_short(a.input_digest)} vs "
+                         f"{_short(b.input_digest)})"))
+    lines.append(f"  options: "
+                 + ("identical" if diff["same_options"] else "DIFFERENT"))
+    if diff["same_output"] is None:
+        lines.append("  output:  not comparable (a failed rewrite has "
+                     "no output digest)")
+    elif diff["same_output"]:
+        lines.append(f"  output:  identical ({_short(a.output_digest)})")
+    else:
+        lines.append(f"  output:  DIVERGED ({_short(a.output_digest)} "
+                     f"vs {_short(b.output_digest)})")
+    t = diff["total_seconds"]
+    lines.append(f"  total:   {t['a'] * 1e3:.1f}ms -> "
+                 f"{t['b'] * 1e3:.1f}ms ({t['delta'] * 1e3:+.1f}ms)")
+    if diff["stage_deltas"]:
+        lines.append("  stages:")
+        for name, entry in diff["stage_deltas"].items():
+            fa = (f"{entry['a'] * 1e3:.2f}ms"
+                  if entry["a"] is not None else "-")
+            fb = (f"{entry['b'] * 1e3:.2f}ms"
+                  if entry["b"] is not None else "-")
+            delta = (f" ({entry['delta'] * 1e3:+.2f}ms)"
+                     if "delta" in entry else "")
+            lines.append(f"    {name:<24} {fa:>10} -> {fb:>10}{delta}")
+    if diff["cache_deltas"]:
+        lines.append("  cache:")
+        for key, entry in diff["cache_deltas"].items():
+            if key == "saved_seconds":
+                lines.append(
+                    f"    {key:<14} {entry['a'] * 1e3:.1f}ms -> "
+                    f"{entry['b'] * 1e3:.1f}ms")
+            else:
+                lines.append(f"    {key:<14} {entry['a']} -> "
+                             f"{entry['b']} ({entry['delta']:+d})")
+    deg = diff["degradation"]
+    if deg["a"] or deg["b"]:
+        lines.append(f"  degraded functions: {deg['a']} -> {deg['b']} "
+                     f"({deg['delta']:+d})")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Shared persistence discipline for the obs layer's durable records.
+
+Two stores persist observability records across runs — the benchmark
+history behind ``BENCH_history.json`` (one JSON document holding a
+sample list) and the rewrite-receipt ledger behind ``RECEIPTS.jsonl``
+(one JSON object per line).  Both owe their callers the same three
+guarantees, factored here so they cannot drift apart:
+
+* **Atomic writes** (:func:`atomic_write_text`): every persist goes
+  through a temp file + ``os.replace``, so a crashed writer never
+  leaves a half-written store behind.
+* **Corrupt/foreign tolerance** (:func:`parse_entries`): loading skips
+  — and *counts*, never raises on — entries that are corrupt or carry a
+  schema the reader does not speak, so one bad row cannot take the
+  whole store down and a newer writer's rows never crash an older
+  reader.
+* **Foreign preservation**: appending re-serializes the raw entries
+  verbatim, so the skip-on-load tolerance never turns into
+  destroy-on-append.
+
+:class:`JsonlStore` packages the three for line-oriented stores;
+:class:`~repro.obs.observatory.BenchHistory` keeps its document layout
+but routes its writes and entry parsing through the same helpers.
+"""
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_text", "parse_entries", "JsonlStore"]
+
+
+def atomic_write_text(path, text, prefix=".obs-store-"):
+    """Write ``text`` to ``path`` atomically (temp file + replace).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` never crosses a filesystem boundary; on any failure
+    the temp file is removed and the original store is untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(prefix=prefix, dir=directory)
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def parse_entries(raw_entries, parse_one):
+    """``(records, skipped)``: every entry ``parse_one`` accepts.
+
+    ``parse_one`` is expected to raise :class:`ValueError` on corrupt
+    or foreign input (the contract of ``PerfSample.from_dict`` and
+    ``RewriteReceipt.from_dict``); each reject bumps the skip count
+    instead of propagating, which is the shared skip-counting semantics
+    of every obs store.
+    """
+    records = []
+    skipped = 0
+    for entry in raw_entries:
+        try:
+            records.append(parse_one(entry))
+        except ValueError:
+            skipped += 1
+    return records, skipped
+
+
+class JsonlStore:
+    """An append-only JSON-lines store: one record per line.
+
+    ``load_raw`` returns every line that parses as JSON (unparseable
+    lines are counted, not raised); ``append_raw`` re-emits the
+    existing lines verbatim — including ones this reader cannot parse —
+    plus the new record, through one atomic write.  Schema checking is
+    the caller's business (via :func:`parse_entries`); this class only
+    owns the line/file discipline.
+    """
+
+    def __init__(self, path):
+        self.path = path
+
+    def _read_lines(self):
+        try:
+            with open(self.path) as f:
+                return [line for line in f.read().splitlines()
+                        if line.strip()]
+        except OSError:
+            return []
+
+    def load_raw(self):
+        """``(objects, bad_lines)``: every JSON-parseable line, in file
+        order, plus the count of lines that were not even JSON."""
+        objects = []
+        bad = 0
+        for line in self._read_lines():
+            try:
+                objects.append(json.loads(line))
+            except json.JSONDecodeError:
+                bad += 1
+        return objects, bad
+
+    def append_raw(self, obj):
+        """Append one JSON-ready record and atomically rewrite the
+        file, preserving every existing line (corrupt ones included)
+        byte-for-byte."""
+        lines = self._read_lines()
+        lines.append(json.dumps(obj, sort_keys=True))
+        return atomic_write_text(self.path, "\n".join(lines) + "\n",
+                                 prefix=".receipts-")
+
+    def __repr__(self):
+        return f"<JsonlStore {self.path}>"

@@ -335,7 +335,6 @@ def render_profile(trace, min_child_ms=0.0):
     if root is None:
         return "(no trace recorded)"
     total = root.duration or 1e-12
-    has_mem = any(s.mem_peak is not None for s in root.iter_spans())
     rows = []
 
     def walk(span, depth):
@@ -352,7 +351,7 @@ def render_profile(trace, min_child_ms=0.0):
             label,
             span.duration * 1000.0,
             span.duration / total,
-            format_bytes(span.mem_peak),
+            span.mem_peak,
             " ".join(extras),
         ))
         for child in span.children:
@@ -360,12 +359,19 @@ def render_profile(trace, min_child_ms=0.0):
                 walk(child, depth + 1)
 
     walk(root, 0)
+    # Mem-column presence is decided off the *displayed* rows, and a
+    # displayed span without a reading gets a "-" placeholder: trees
+    # with mixed mem_peak presence (old trace JSON round-tripped
+    # through the mem column, or ``min_child_ms`` filtering away the
+    # only mem-bearing spans) must render, not misalign or crash.
+    has_mem = any(mem is not None for _, _, _, mem, _ in rows)
     width = max(len(r[0]) for r in rows)
     mem_col = f"  {'mem peak':>9}" if has_mem else ""
     lines = [f"{'stage':<{width}}  {'ms':>9}  {'%':>6}{mem_col}  detail",
              "-" * (width + 30 + (11 if has_mem else 0))]
     for label, ms, frac, mem, extra in rows:
-        mem_cell = f"  {mem:>9}" if has_mem else ""
+        cell = format_bytes(mem) if mem is not None else "-"
+        mem_cell = f"  {cell:>9}" if has_mem else ""
         lines.append(f"{label:<{width}}  {ms:>9.3f}  {frac:>6.1%}"
                      f"{mem_cell}  {extra}")
     return "\n".join(lines)

@@ -244,6 +244,76 @@ class TestParallelDeterminism:
             ex.close()
 
 
+class TestWorkerAccounting:
+    """Fleet-accurate accounting: workers run each task under a fresh
+    registry and ship its deltas back for merge
+    (:func:`repro.core.pipeline.run_accounted`), so ``worker.*`` and
+    ``cache.*`` totals never depend on which executor ran the work —
+    the property rewrite receipts stand on."""
+
+    def test_jobs2_counters_match_serial(self, binary):
+        _, _, serial = _rewrite(binary, cache=ArtifactCache(), jobs=1)
+        _, _, pooled = _rewrite(binary, cache=ArtifactCache(), jobs=2)
+        assert serial.counter_values("cache.") == \
+            pooled.counter_values("cache.")
+        assert serial.counter_values("worker.") == \
+            pooled.counter_values("worker.")
+        assert pooled.counter_values("worker.")["worker.tasks"] > 0
+
+    def test_process_pool_counters_match_serial(self, binary):
+        # The tasks execute in worker *processes*: their accounting
+        # must come back over the result pipe, and nothing may crash
+        # (the old bound-method submission could not even pickle).
+        _, _, serial = _rewrite(binary, jobs=1)
+        metrics = Metrics()
+        rewriter = IncrementalRewriter(mode="jt", jobs=2,
+                                       executor_kind="process",
+                                       metrics=metrics)
+        out, _ = rewriter.rewrite(binary)
+        out_serial, _, _ = _rewrite(binary, jobs=1)
+        assert out.to_bytes() == out_serial.to_bytes()
+        assert metrics.counter_values("worker.") == \
+            serial.counter_values("worker.")
+        assert metrics.counter_values("worker.").get(
+            "worker.crashes", 0) == 0
+
+    def test_worker_metrics_outside_task_is_null(self):
+        from repro.core.pipeline import worker_metrics
+        from repro.obs import NULL_METRICS
+        assert worker_metrics() is NULL_METRICS
+
+    def test_run_accounted_ships_task_recordings(self):
+        from repro.core.pipeline import run_accounted, worker_metrics
+
+        def task(x):
+            worker_metrics().inc("custom.ticks", x)
+            return x * 2
+
+        value, deltas = run_accounted(task, 3)
+        assert value == 6
+        assert deltas["counters"]["worker.tasks"] == 1
+        assert deltas["counters"]["custom.ticks"] == 3
+        assert deltas["observations"]["worker.task_seconds"]
+        # The per-task registry is gone once the task finished.
+        from repro.core.pipeline import worker_metrics as wm
+        from repro.obs import NULL_METRICS as null
+        assert wm() is null
+
+    def test_merge_deltas_roundtrip(self):
+        src = Metrics()
+        src.inc("a.count", 3)
+        src.set_gauge("a.gauge", 7)
+        src.observe("a.hist", 1.5)
+        src.observe("a.hist", 2.5)
+        dst = Metrics()
+        dst.inc("a.count", 1)
+        dst.merge_deltas(src.deltas())
+        assert dst.counter_values()["a.count"] == 4
+        assert dst.gauge("a.gauge").value == 7
+        hist = dst.histogram("a.hist")
+        assert hist.count == 2 and hist.total == 4.0
+
+
 class TestWorkItems:
     def test_work_items_carry_artifacts_and_provenance(self, binary):
         cache = ArtifactCache()
@@ -313,8 +383,10 @@ class TestCliPipeline:
         assert "cache" in capsys.readouterr().out
         assert out.exists()
 
-    def test_batch_second_round_all_hits(self, capsys):
+    def test_batch_second_round_all_hits(self, capsys, tmp_path,
+                                         monkeypatch):
         from repro.cli import main
+        monkeypatch.chdir(tmp_path)   # the default receipt ledger
         rc = main(["batch", "619.lbm_s", "--repeat", "2", "--jobs", "2"])
         assert rc == 0
         lines = [ln for ln in capsys.readouterr().out.splitlines()
@@ -327,6 +399,7 @@ class TestCliPipeline:
 
     def test_batch_no_cache(self, capsys):
         from repro.cli import main
-        assert main(["batch", "619.lbm_s", "--no-cache"]) == 0
+        assert main(["batch", "619.lbm_s", "--no-cache",
+                     "--no-receipts"]) == 0
         out = capsys.readouterr().out
         assert "cache 0/0" in out

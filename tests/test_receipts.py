@@ -1,0 +1,450 @@
+"""The provenance layer: rewrite receipts, their ledger, and the CLI.
+
+Covers the acceptance properties of the subsystem:
+
+* every rewrite (serial, pooled, cached — and failed) emits one
+  schema-versioned, content-addressed receipt whose accounting matches
+  the run, and receipts of the same input agree on the output digest;
+* the ledger speaks the shared obs store discipline — atomic appends,
+  corrupt/foreign lines skipped-and-counted on load but preserved on
+  append;
+* ``repro rewrite --receipt`` / ``repro batch`` persist receipts and
+  ``repro receipt list/show/diff`` read them back, with ``diff``
+  reporting the output-digest verdict and cache deltas.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ArtifactCache, IncrementalRewriter
+from repro.obs import (
+    JsonlStore,
+    Metrics,
+    ReceiptLedger,
+    RewriteReceipt,
+    Tracer,
+    diff_receipts,
+    fleet_summary,
+    render_receipt,
+    render_receipt_diff,
+    render_receipt_list,
+)
+from repro.obs.receipt import FLEET_SCHEMA, RECEIPT_SCHEMA
+from repro.util.errors import ReproError, RewriteError
+from tests.conftest import compiled, small_program
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compiled(small_program("c"), "x86")
+
+
+def _rewrite_with_receipt(binary, sink, **kwargs):
+    rewriter = IncrementalRewriter(mode="jt", receipt_sink=sink,
+                                   workload="unit", **kwargs)
+    out, report = rewriter.rewrite(binary)
+    return out, report, rewriter
+
+
+class TestJsonlStore:
+    def test_append_then_load_roundtrip(self, tmp_path):
+        store = JsonlStore(str(tmp_path / "s.jsonl"))
+        store.append_raw({"n": 1})
+        store.append_raw({"n": 2})
+        objects, bad = store.load_raw()
+        assert [o["n"] for o in objects] == [1, 2]
+        assert bad == 0
+
+    def test_corrupt_lines_counted_not_raised(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"n": 1}\nnot json at all\n{"n": 2}\n')
+        store = JsonlStore(str(path))
+        objects, bad = store.load_raw()
+        assert [o["n"] for o in objects] == [1, 2]
+        assert bad == 1
+
+    def test_append_preserves_corrupt_lines_verbatim(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"n": 1}\ngarbage-line\n')
+        JsonlStore(str(path)).append_raw({"n": 2})
+        assert "garbage-line" in path.read_text()
+        objects, bad = JsonlStore(str(path)).load_raw()
+        assert len(objects) == 2 and bad == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        objects, bad = JsonlStore(str(tmp_path / "nope.jsonl")).load_raw()
+        assert objects == [] and bad == 0
+
+
+class TestReceiptEmission:
+    def test_rewrite_emits_one_receipt(self, binary):
+        got = []
+        out, report, rewriter = _rewrite_with_receipt(
+            binary, got.append, metrics=Metrics(),
+            tracer=Tracer(name="t"))
+        assert len(got) == 1
+        receipt = got[0]
+        assert receipt is rewriter.last_receipt
+        assert receipt.outcome == "ok" and receipt.error is None
+        assert receipt.workload == "unit"
+        assert receipt.arch == "x86" and receipt.mode == "jt"
+        assert receipt.input_digest != receipt.output_digest
+        assert receipt.options["mode"] == "jt"
+        assert receipt.options["jobs"] == 1
+        # Per-stage wall times come off the trace span tree.
+        assert "cfg-construction" in receipt.stages
+        assert receipt.stages["cfg-construction"]["seconds"] >= 0
+        # Worker accounting comes off the merged metric deltas.
+        assert receipt.workers["tasks"] > 0
+
+    def test_no_sink_means_no_receipt_machinery(self, binary):
+        rewriter = IncrementalRewriter(mode="jt")
+        rewriter.rewrite(binary)
+        assert rewriter.last_receipt is None
+
+    def test_receipt_id_is_content_addressed(self, binary):
+        got = []
+        _rewrite_with_receipt(binary, got.append, metrics=Metrics())
+        receipt = got[0]
+        rid = receipt.receipt_id
+        assert len(rid) == 64
+        assert receipt.verify(rid)
+        receipt.mode = "tampered"
+        assert not receipt.verify(rid)
+
+    def test_serial_pool_and_cached_runs_agree_on_output(self, binary):
+        receipts = []
+        cache = ArtifactCache()
+        _rewrite_with_receipt(binary, receipts.append,
+                              metrics=Metrics(), jobs=1)
+        _rewrite_with_receipt(binary, receipts.append,
+                              metrics=Metrics(), jobs=2)
+        _rewrite_with_receipt(binary, receipts.append,
+                              metrics=Metrics(), cache=cache)
+        _rewrite_with_receipt(binary, receipts.append,
+                              metrics=Metrics(), cache=cache)
+        digests = {r.output_digest for r in receipts}
+        assert len(digests) == 1
+        # ...and the warm run's receipt shows the cache paying off.
+        cold, warm = receipts[2], receipts[3]
+        assert cold.cache["misses"] > 0 and cold.cache["hits"] == 0
+        assert warm.cache["hits"] > 0 and warm.cache["misses"] == 0
+
+    def test_jobs2_receipt_counters_match_serial(self, binary):
+        receipts = []
+        _rewrite_with_receipt(binary, receipts.append,
+                              metrics=Metrics(),
+                              cache=ArtifactCache(), jobs=1)
+        _rewrite_with_receipt(binary, receipts.append,
+                              metrics=Metrics(),
+                              cache=ArtifactCache(), jobs=2)
+        serial, pooled = receipts
+        assert serial.workers.keys() == pooled.workers.keys()
+        assert serial.workers["tasks"] == pooled.workers["tasks"]
+        assert serial.cache["hits"] == pooled.cache["hits"]
+        assert serial.cache["misses"] == pooled.cache["misses"]
+        assert serial.cache["stores"] == pooled.cache["stores"]
+        assert serial.cache.get("by_kind") == pooled.cache.get("by_kind")
+
+    def test_failed_rewrite_still_emits_a_receipt(self):
+        # SrbiRewriter inherits receipt support and refuses C++
+        # binaries outright — the refusal must leave a failed receipt
+        # behind before the error propagates.
+        from repro.baselines import SrbiRewriter
+
+        cxx = compiled(small_program("cxx"), "x86")
+        got = []
+        rewriter = SrbiRewriter()
+        rewriter.receipt_sink = got.append
+        rewriter.workload = "cxx-refusal"
+        with pytest.raises(RewriteError):
+            rewriter.rewrite(cxx)
+        assert len(got) == 1
+        receipt = got[0]
+        assert receipt.outcome == "failed"
+        assert receipt.output_digest is None
+        assert receipt.error["type"] == "RewriteError"
+        assert receipt.input_digest
+        assert rewriter.last_receipt is receipt
+
+    def test_shared_registry_yields_per_run_deltas(self, binary):
+        # One registry across two rewrites: each receipt must account
+        # only its own run, not the running totals.
+        receipts = []
+        metrics = Metrics()
+        cache = ArtifactCache()
+        for _ in range(2):
+            rewriter = IncrementalRewriter(
+                mode="jt", receipt_sink=receipts.append,
+                metrics=metrics, cache=cache)
+            rewriter.rewrite(binary)
+        cold, warm = receipts
+        assert cold.cache["misses"] > 0
+        assert warm.cache["misses"] == 0
+        assert warm.cache["hits"] == cold.cache["misses"]
+
+
+class TestLedger:
+    def _one(self, binary, path, **kwargs):
+        ledger = ReceiptLedger(str(path))
+        _rewrite_with_receipt(binary, ledger, metrics=Metrics(),
+                              **kwargs)
+        return ledger
+
+    def test_append_load_roundtrip(self, binary, tmp_path):
+        ledger = self._one(binary, tmp_path / "r.jsonl")
+        loaded = ledger.load()
+        assert len(loaded) == 1 and ledger.skipped == 0
+        raw = json.loads(
+            (tmp_path / "r.jsonl").read_text().splitlines()[0])
+        assert raw["schema"] == RECEIPT_SCHEMA
+        assert loaded[0].receipt_id == raw["receipt_id"]
+
+    def test_corrupt_and_foreign_lines_skipped_but_preserved(
+            self, binary, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('not json\n{"schema": "Alien/v9", "x": 1}\n')
+        ledger = self._one(binary, path)
+        assert len(ledger.load()) == 1
+        assert ledger.skipped == 2
+        # Both bad lines survived the append verbatim.
+        text = path.read_text()
+        assert "not json" in text and "Alien/v9" in text
+
+    def test_fleet_summaries_are_not_foreign(self, binary, tmp_path):
+        path = tmp_path / "r.jsonl"
+        ledger = self._one(binary, path)
+        ledger.append_summary(fleet_summary(ledger.load()))
+        receipts = ledger.load()
+        assert len(receipts) == 1
+        assert ledger.skipped == 0
+        assert len(ledger.summaries) == 1
+        summary = ledger.summaries[0]
+        assert summary["schema"] == FLEET_SCHEMA
+        assert summary["receipts"] == [receipts[0].receipt_id]
+        assert summary["outcomes"] == {"ok": 1}
+
+    def test_find_by_prefix_and_ambiguity(self, binary, tmp_path):
+        ledger = self._one(binary, tmp_path / "r.jsonl")
+        receipt = ledger.load()[0]
+        assert ledger.find(receipt.receipt_id[:8]).receipt_id == \
+            receipt.receipt_id
+        with pytest.raises(LookupError):
+            ledger.find("zzzz")
+        # An empty prefix matches every entry: unambiguous with one
+        # receipt in the ledger, ambiguous with two.
+        _rewrite_with_receipt(binary, ledger, metrics=Metrics(),
+                              jobs=2)
+        with pytest.raises(LookupError):
+            ledger.find("")
+
+    def test_query_by_digest_workload_fingerprint(self, binary,
+                                                  tmp_path):
+        ledger = self._one(binary, tmp_path / "r.jsonl")
+        receipt = ledger.load()[0]
+        assert ledger.query(input_digest=receipt.input_digest)
+        assert ledger.query(workload="unit")
+        assert not ledger.query(workload="other")
+        assert ledger.query(fingerprint=receipt.fingerprint)
+        assert not ledger.query(
+            fingerprint=("py9.9.9", "nowhere", 0))
+
+
+class TestDiffAndRendering:
+    def _two(self, binary, tmp_path):
+        ledger = ReceiptLedger(str(tmp_path / "r.jsonl"))
+        cache = ArtifactCache()
+        for _ in range(2):
+            rewriter = IncrementalRewriter(
+                mode="jt", receipt_sink=ledger, workload="unit",
+                metrics=Metrics(), cache=cache,
+                tracer=Tracer(name="t"))
+            rewriter.rewrite(binary)
+        return ledger.load()
+
+    def test_warm_vs_cold_diff(self, binary, tmp_path):
+        cold, warm = self._two(binary, tmp_path)
+        diff = diff_receipts(cold, warm)
+        assert diff["same_input"] is True
+        assert diff["same_options"] is True
+        assert diff["same_output"] is True
+        assert diff["cache_deltas"]["hits"]["delta"] > 0
+        assert diff["cache_deltas"]["misses"]["delta"] < 0
+        assert diff["stage_deltas"]   # traced stages present
+        text = render_receipt_diff(cold, warm, diff)
+        assert "output:  identical" in text
+        assert "hits" in text
+
+    def test_diff_flags_diverged_outputs(self, binary, tmp_path):
+        cold, warm = self._two(binary, tmp_path)
+        warm.output_digest = "f" * 64
+        diff = diff_receipts(cold, warm)
+        assert diff["same_output"] is False
+        assert "DIVERGED" in render_receipt_diff(cold, warm, diff)
+
+    def test_diff_tolerates_missing_output(self, binary, tmp_path):
+        cold, warm = self._two(binary, tmp_path)
+        warm.output_digest = None
+        diff = diff_receipts(cold, warm)
+        assert diff["same_output"] is None
+        assert "not comparable" in render_receipt_diff(cold, warm, diff)
+
+    def test_render_receipt_and_list(self, binary, tmp_path):
+        receipts = self._two(binary, tmp_path)
+        text = render_receipt(receipts[0])
+        assert receipts[0].short_id in text
+        assert "cache:" in text and "stages:" in text
+        listing = render_receipt_list(receipts, 0, [
+            fleet_summary(receipts)])
+        assert "2 receipt(s)" in listing
+        assert "fleet:" in listing
+        assert render_receipt_list([], 0, []) == "(empty ledger)"
+
+    def test_from_dict_rejects_foreign_and_corrupt(self):
+        with pytest.raises(ValueError):
+            RewriteReceipt.from_dict({"schema": "Other/v1"})
+        with pytest.raises(ValueError):
+            RewriteReceipt.from_dict("not a dict")
+        with pytest.raises(ValueError):
+            RewriteReceipt.from_dict({"schema": RECEIPT_SCHEMA})
+
+
+class TestHarnessIntegration:
+    def test_evaluate_tool_attaches_receipt(self, binary):
+        from repro.eval import baseline_run, evaluate_tool
+
+        oracle, base_cycles = baseline_run(binary)
+        run = evaluate_tool("jt", binary, oracle, base_cycles,
+                            benchmark="unit")
+        assert run.passed
+        assert run.receipt is not None
+        assert run.receipt.workload == "unit"
+        assert run.receipt.outcome == "ok"
+
+    def test_evaluate_tool_persists_into_sink(self, binary, tmp_path):
+        from repro.eval import baseline_run, evaluate_tool
+
+        oracle, base_cycles = baseline_run(binary)
+        ledger = ReceiptLedger(str(tmp_path / "r.jsonl"))
+        run = evaluate_tool("jt", binary, oracle, base_cycles,
+                            benchmark="unit", receipt_sink=ledger)
+        assert run.receipt is not None
+        loaded = ledger.load()
+        assert len(loaded) == 1
+        assert loaded[0].receipt_id == run.receipt.receipt_id
+
+    def test_tool_without_receipt_support(self, binary):
+        from repro.eval import baseline_run, evaluate_tool
+
+        oracle, base_cycles = baseline_run(binary)
+        run = evaluate_tool("ir-lowering", binary, oracle, base_cycles,
+                            benchmark="unit")
+        assert run.receipt is None
+
+
+class TestCli:
+    def test_rewrite_receipt_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["rewrite", "--workload", "619.lbm_s",
+                     "--receipt"]) == 0
+        out = capsys.readouterr().out
+        assert "receipt" in out
+        ledger = ReceiptLedger(str(tmp_path / "RECEIPTS.jsonl"))
+        assert len(ledger.load()) == 1
+
+    def test_batch_emits_receipts_and_fleet_summary(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["batch", "619.lbm_s", "--repeat", "2",
+                     "--jobs", "2"]) == 0
+        capsys.readouterr()
+        ledger = ReceiptLedger(str(tmp_path / "RECEIPTS.jsonl"))
+        receipts = ledger.load()
+        assert len(receipts) == 2
+        assert len(ledger.summaries) == 1
+        assert {r.output_digest for r in receipts} == \
+            {receipts[0].output_digest}
+
+    def test_receipt_list_show_diff(self, tmp_path, capsys,
+                                    monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        main(["batch", "619.lbm_s", "--repeat", "2"])
+        capsys.readouterr()
+        assert main(["receipt", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "2 receipt(s)" in listing and "fleet:" in listing
+
+        ledger = ReceiptLedger(str(tmp_path / "RECEIPTS.jsonl"))
+        ids = [r.short_id for r in ledger.load()]
+        assert main(["receipt", "show", ids[0]]) == 0
+        assert "workload:  619.lbm_s" in capsys.readouterr().out
+
+        # Warm vs cold of the same input: identical outputs, exit 0.
+        assert main(["receipt", "diff", ids[0], ids[1]]) == 0
+        text = capsys.readouterr().out
+        assert "output:  identical" in text
+        assert "hits" in text
+
+    def test_receipt_diff_diverged_exit_code(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.cli import EXIT_DIVERGED, main
+
+        monkeypatch.chdir(tmp_path)
+        main(["rewrite", "--workload", "619.lbm_s", "--receipt"])
+        capsys.readouterr()
+        ledger = ReceiptLedger(str(tmp_path / "RECEIPTS.jsonl"))
+        receipt = ledger.load()[0]
+        receipt.output_digest = "f" * 64
+        ledger.append(receipt)
+        first, second = [r.short_id for r in ledger.load()]
+        rc = main(["receipt", "diff", first, second])
+        capsys.readouterr()
+        assert rc == EXIT_DIVERGED
+
+    def test_receipt_bad_ids_and_arity(self, tmp_path, capsys,
+                                       monkeypatch):
+        from repro.cli import EXIT_LOAD_ERROR, main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["receipt", "list"]) == 0     # empty ledger is ok
+        assert "(empty ledger)" in capsys.readouterr().out
+        assert main(["receipt", "show", "zzz"]) == EXIT_LOAD_ERROR
+        assert main(["receipt", "diff", "onlyone"]) == EXIT_LOAD_ERROR
+        capsys.readouterr()
+
+    def test_failed_rewrite_writes_failed_receipt(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import EXIT_REWRITE_ERROR, main
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(["rewrite", "--workload", "docker_like",
+                   "--mode", "func-ptr", "--no-degrade", "--receipt"])
+        assert rc == EXIT_REWRITE_ERROR
+        err = capsys.readouterr().err
+        assert "refused" in err and "[failed]" in err
+        receipts = ReceiptLedger(
+            str(tmp_path / "RECEIPTS.jsonl")).load()
+        assert len(receipts) == 1
+        assert receipts[0].outcome == "failed"
+        assert receipts[0].output_digest is None
+
+    def test_perf_fail_on_rejects_unknown_grades(self, tmp_path,
+                                                 capsys, monkeypatch):
+        from repro.cli import EXIT_LOAD_ERROR, main
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(["perf", "check", "--fail-on", "bogus"])
+        assert rc == EXIT_LOAD_ERROR
+        err = capsys.readouterr().err
+        assert "bogus" in err and "warn" in err and "fail" in err
+        # "ok" is a severity but not a gate.
+        assert main(["perf", "check", "--fail-on", "ok"]) == \
+            EXIT_LOAD_ERROR
+        capsys.readouterr()
