@@ -1,0 +1,75 @@
+"""Accounting tax: assembling a rewrite atlas must stay cheap.
+
+The atlas is the standing measurement instrument every
+precision-affecting change reports against, so CI builds one on every
+smoke rewrite — its assembly (per-function row accounting fed by the
+pipeline stages, rollup aggregation, canonical-JSON content addressing,
+plus the two image digests shared with receipts) has to be a small
+fraction of the rewrite it describes.  This bench measures a reference
+rewrite with and without an atlas sink attached (best-of-N each) and
+holds the marginal cost to a 15% budget on the deliberately tiny
+reference workload, where the fixed per-atlas cost is proportionally at
+its worst.  Same discipline as ``bench_receipt_overhead.py``: the
+budget is a regression tripwire, not a target.
+"""
+
+import time
+
+from repro.core import IncrementalRewriter, RewriteMode
+from repro.obs import Metrics
+from repro.toolchain.workloads import build_workload, spec_workload
+
+REFERENCE = ("602.sgcc_s", "x86")
+MODE = RewriteMode.JT
+BUDGET = 0.15  # atlas assembly tax ceiling on the tiny reference
+
+
+def _rewrite_seconds(binary, atlas, repeats=5):
+    """Best-of-N wall time of a reference rewrite, with or without an
+    atlas sink discarding into a list."""
+    best = None
+    for _ in range(repeats):
+        sink = [].append if atlas else None
+        rewriter = IncrementalRewriter(mode=MODE, metrics=Metrics(),
+                                       atlas_sink=sink)
+        t0 = time.perf_counter()
+        rewriter.rewrite(binary)
+        elapsed = time.perf_counter() - t0
+        if atlas:
+            assert rewriter.last_atlas is not None
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_atlas_assembly_overhead(benchmark, print_section,
+                                 runtime_records):
+    name, arch = REFERENCE
+    _, binary = build_workload(spec_workload(name, arch), arch)
+
+    def experiment():
+        plain_s = _rewrite_seconds(binary, atlas=False)
+        atlas_s = _rewrite_seconds(binary, atlas=True)
+        overhead = max(0.0, atlas_s - plain_s) / plain_s
+        return {
+            "plain_ms": plain_s * 1e3,
+            "atlas_ms": atlas_s * 1e3,
+            "overhead": overhead,
+        }
+
+    r = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert r["overhead"] < BUDGET, (
+        f"atlas assembly adds {r['overhead']:.2%} to a reference "
+        f"rewrite (budget {BUDGET:.0%})"
+    )
+    benchmark.extra_info.update(r)
+    runtime_records({"bench": "atlas_overhead",
+                     "benchmark": name, "arch": arch,
+                     "mode": str(MODE), **r})
+    print_section(
+        "Atlas-assembly overhead on a reference rewrite",
+        f"reference        : {name} / {arch} / {MODE}\n"
+        f"plain rewrite    : {r['plain_ms']:.2f} ms\n"
+        f"with atlas       : {r['atlas_ms']:.2f} ms\n"
+        f"marginal tax     : {r['overhead']:.3%} "
+        f"(budget {BUDGET:.0%})",
+    )

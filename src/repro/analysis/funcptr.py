@@ -99,6 +99,52 @@ class FuncPtrAnalysis:
         self.imprecise_by_function.setdefault(function_name,
                                               []).append(reason)
 
+    def precision_class(self, function_name):
+        """The :data:`PRECISION_CLASSES` bucket of one function's
+        imprecision reasons (``"precise"`` when none implicate it) —
+        the per-function precision label the rewrite atlas records."""
+        return classify_precision(
+            self.imprecise_by_function.get(function_name, ()))
+
+
+#: Precision classes a function's pointer analysis can land in, worst
+#: first.  ``classify_precision`` prefers the worst matching class when
+#: a function accumulated mixed reasons, mirroring how the degradation
+#: ladder treats mixed failure categories.
+PRECISION_COMPUTED = "computed-pointer"
+PRECISION_CONFLICT = "conflicting-delta"
+PRECISION_ARITH = "nonconst-arith"
+PRECISION_OTHER = "imprecise-other"
+PRECISION_PRECISE = "precise"
+PRECISION_CLASSES = (PRECISION_COMPUTED, PRECISION_CONFLICT,
+                     PRECISION_ARITH, PRECISION_OTHER, PRECISION_PRECISE)
+
+
+def classify_precision(reasons):
+    """Bucket imprecision reason strings into a precision class.
+
+    The buckets follow the verdicts this module emits (module
+    docstring): runtime-built code pointers (the Go-vtab failure,
+    forces ``skip``), conflicting per-slot deltas, non-constant or
+    oversized pointer arithmetic, and a catch-all for anything newer
+    reasons introduce.  Empty reasons mean the function is precise.
+    """
+    found = set()
+    for reason in reasons:
+        if "computed code pointer" in reason \
+                or "indirect transfer" in reason:
+            found.add(PRECISION_COMPUTED)
+        elif "conflicting pointer deltas" in reason:
+            found.add(PRECISION_CONFLICT)
+        elif "non-constant amount" in reason or "large delta" in reason:
+            found.add(PRECISION_ARITH)
+        else:
+            found.add(PRECISION_OTHER)
+    for cls in PRECISION_CLASSES:
+        if cls in found:
+            return cls
+    return PRECISION_PRECISE
+
 
 @dataclass
 class FunctionPtrScan:

@@ -15,9 +15,13 @@ Examples::
     python -m repro perf record --workload 602.sgcc_s
     python -m repro perf report
     python -m repro perf check --fail-on fail
-    python -m repro rewrite --workload 602.sgcc_s --receipt
+    python -m repro rewrite --workload 602.sgcc_s --receipt --atlas
     python -m repro receipt list
+    python -m repro receipt show latest --json
     python -m repro receipt diff 7191d390 a3f2c1b0
+    python -m repro atlas build --workload 602.sgcc_s --mode func-ptr
+    python -m repro atlas show latest
+    python -m repro atlas diff 11aa22bb 33cc44dd
     python -m repro run sgcc.rw
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
@@ -49,6 +53,7 @@ from repro.obs import (
     render_flight_report,
     render_profile,
 )
+from repro.obs.atlas import DEFAULT_ATLAS_LEDGER
 from repro.obs.receipt import DEFAULT_LEDGER
 from repro.toolchain.workloads import (
     SPEC_BENCHMARK_NAMES,
@@ -67,6 +72,7 @@ EXIT_DIFF_REFUSED = 2
 EXIT_LOAD_ERROR = 3
 EXIT_REWRITE_ERROR = 4
 EXIT_PERF_REGRESSION = 5
+EXIT_COVERAGE_REGRESSION = 6
 
 _APP_WORKLOADS = {
     "libxul_like": firefox_like,
@@ -163,6 +169,20 @@ def _receipt_recorder(path, workload):
     return sink, receipts
 
 
+def _atlas_recorder(path):
+    """(sink, atlases) pair, the atlas twin of :func:`_receipt_recorder`."""
+    from repro.obs import AtlasLedger
+
+    ledger = AtlasLedger(path)
+    atlases = []
+
+    def sink(atlas):
+        ledger.append(atlas)
+        atlases.append(atlas)
+
+    return sink, atlases
+
+
 def cmd_rewrite(args):
     program, binary = _load_workload(args.workload, args.arch, args.pie)
     instrumentation = (CountingInstrumentation()
@@ -179,6 +199,9 @@ def cmd_rewrite(args):
     if args.receipt:
         receipt_sink, receipts = _receipt_recorder(args.receipt,
                                                    args.workload)
+    atlas_sink = atlases = None
+    if args.atlas:
+        atlas_sink, atlases = _atlas_recorder(args.atlas)
     try:
         rewritten, report, runtime = rewrite_binary(
             binary, RewriteMode.parse(args.mode),
@@ -188,6 +211,7 @@ def cmd_rewrite(args):
             cache=cache, jobs=args.jobs,
             degrade=not args.no_degrade,
             receipt_sink=receipt_sink, workload=args.workload,
+            atlas_sink=atlas_sink,
         )
     except ReproError as exc:
         print(f"rewrite refused: {exc}", file=sys.stderr)
@@ -223,6 +247,9 @@ def cmd_rewrite(args):
     if receipts:
         print(f"receipt       : {receipts[-1].short_id} "
               f"-> {args.receipt}")
+    if atlases:
+        print(f"atlas         : {atlases[-1].short_id} "
+              f"-> {args.atlas}")
     if args.output:
         print(f"written       : {args.output}")
     diverged = False
@@ -470,7 +497,14 @@ def cmd_perf(args):
               f"{'y' if history.skipped == 1 else 'ies'} skipped]",
               file=sys.stderr)
     if args.action == "report":
-        print(render_trend(samples, window=args.window))
+        if args.json:
+            import json
+            from repro.obs import trend_document
+            print(json.dumps(trend_document(samples,
+                                            window=args.window),
+                             indent=2, sort_keys=True))
+        else:
+            print(render_trend(samples, window=args.window))
         return 0
 
     sentinel = RegressionSentinel(window=args.window)
@@ -522,13 +556,109 @@ def cmd_receipt(args):
         raise CliError(str(exc), EXIT_LOAD_ERROR)
 
     if args.action == "show":
-        print(render_receipt(found[0]))
+        if args.json:
+            import json
+            print(json.dumps(found[0].to_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_receipt(found[0]))
         return 0
 
     a, b = found
     diff = diff_receipts(a, b)
     print(render_receipt_diff(a, b, diff))
     return EXIT_DIVERGED if diff["same_output"] is False else 0
+
+
+def cmd_atlas(args):
+    """The rewrite atlas: per-function coverage/precision accounting.
+
+    ``build`` rewrites one workload with atlas emission on and appends
+    the :class:`~repro.obs.RewriteAtlas` to the ledger.  ``list``,
+    ``show`` (``latest`` or an id prefix; ``--json`` for the raw
+    document) and ``top`` inspect the ledger; ``diff`` compares two
+    atlases' coverage/mode/overhead and exits
+    :data:`EXIT_COVERAGE_REGRESSION` when the second covers less — the
+    standing gate for precision-affecting changes.
+    """
+    from repro.obs import (
+        AtlasLedger,
+        diff_atlases,
+        render_atlas,
+        render_atlas_diff,
+        render_atlas_list,
+        render_atlas_top,
+    )
+
+    if args.action == "build":
+        if not args.workload:
+            raise CliError("atlas build requires --workload",
+                           EXIT_LOAD_ERROR)
+        program, binary = _load_workload(args.workload, args.arch,
+                                         args.pie)
+        cache = _make_cache(args)
+        metrics = Metrics()
+        sink, atlases = _atlas_recorder(args.ledger)
+        try:
+            rewritten, report, _ = rewrite_binary(
+                binary, RewriteMode.parse(args.mode),
+                metrics=metrics, cache=cache, jobs=args.jobs,
+                atlas_sink=sink, workload=args.workload,
+            )
+        except ReproError as exc:
+            print(f"atlas build refused: {exc}", file=sys.stderr)
+            return EXIT_REWRITE_ERROR
+        atlas = atlases[-1]
+        roll = atlas.rollup
+        modes = " ".join(f"{m}={n}" for m, n in
+                         sorted(roll["mode_distribution"].items()))
+        print(f"atlas {atlas.short_id}: {roll['functions']} function(s), "
+              f"cfg {roll['cfg_fraction']:.1%}, modes [{modes}] "
+              f"-> {args.ledger}")
+        return 0
+
+    ledger = AtlasLedger(args.ledger)
+    atlases = ledger.load()
+    if ledger.skipped:
+        print(f"[{ledger.skipped} corrupt/foreign ledger line"
+              f"{'' if ledger.skipped == 1 else 's'} skipped]",
+              file=sys.stderr)
+
+    wanted = {"list": 0, "show": 1, "top": 1, "diff": 2}[args.action]
+    if len(args.ids) != wanted:
+        raise CliError(
+            f"atlas {args.action} takes {wanted} atlas id(s), "
+            f"got {len(args.ids)}",
+            EXIT_LOAD_ERROR,
+        )
+
+    if args.action == "list":
+        print(render_atlas_list(atlases, ledger.skipped))
+        return 0
+
+    try:
+        found = [ledger.find(id_prefix) for id_prefix in args.ids]
+    except LookupError as exc:
+        raise CliError(str(exc), EXIT_LOAD_ERROR)
+
+    if args.action == "show":
+        if args.json:
+            import json
+            print(json.dumps(found[0].to_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_atlas(found[0], limit=args.limit or 0))
+        return 0
+
+    if args.action == "top":
+        print(render_atlas_top(found[0], by=args.by,
+                               limit=args.limit or 10))
+        return 0
+
+    a, b = found
+    diff = diff_atlases(a, b)
+    print(render_atlas_diff(a, b, diff))
+    return EXIT_COVERAGE_REGRESSION if diff["coverage_regressed"] else 0
 
 
 def cmd_run(args):
@@ -676,6 +806,10 @@ def build_parser():
                    default=None, metavar="LEDGER",
                    help="append a provenance receipt to LEDGER "
                         f"(default {DEFAULT_LEDGER})")
+    p.add_argument("--atlas", nargs="?", const=DEFAULT_ATLAS_LEDGER,
+                   default=None, metavar="LEDGER",
+                   help="append a per-function coverage atlas to LEDGER "
+                        f"(default {DEFAULT_ATLAS_LEDGER})")
     p.add_argument("-o", "--output")
     _add_pipeline_args(p)
     p.set_defaults(func=cmd_rewrite)
@@ -757,6 +891,9 @@ def build_parser():
     p.add_argument("--fail-on", default="fail", metavar="GRADE",
                    help="check: lowest severity that exits nonzero "
                         "(info, warn or fail; default fail)")
+    p.add_argument("--json", action="store_true",
+                   help="report: print the machine-readable trend "
+                        "document instead of the table")
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(
@@ -765,11 +902,43 @@ def build_parser():
     )
     p.add_argument("action", choices=["list", "show", "diff"])
     p.add_argument("ids", nargs="*", metavar="ID",
-                   help="receipt id prefix(es): one for show, two for "
-                        "diff")
+                   help="receipt id prefix(es) or `latest`: one for "
+                        "show, two for diff")
     p.add_argument("--ledger", default=DEFAULT_LEDGER, metavar="FILE",
                    help=f"receipt ledger (default {DEFAULT_LEDGER})")
+    p.add_argument("--json", action="store_true",
+                   help="show: print the raw receipt document")
     p.set_defaults(func=cmd_receipt)
+
+    p = sub.add_parser(
+        "atlas",
+        help="per-function coverage/precision atlases: build one, "
+             "inspect the ledger, diff two",
+    )
+    p.add_argument("action",
+                   choices=["build", "list", "show", "top", "diff"])
+    p.add_argument("ids", nargs="*", metavar="ID",
+                   help="atlas id prefix(es) or `latest`: one for "
+                        "show/top, two for diff")
+    p.add_argument("--ledger", default=DEFAULT_ATLAS_LEDGER,
+                   metavar="FILE",
+                   help=f"atlas ledger (default {DEFAULT_ATLAS_LEDGER})")
+    p.add_argument("--workload", help="build: workload to rewrite")
+    p.add_argument("--arch", default="x86")
+    p.add_argument("--pie", action="store_true")
+    p.add_argument("--mode", default="jt",
+                   choices=[m.value for m in RewriteMode])
+    p.add_argument("--json", action="store_true",
+                   help="show: print the raw atlas document")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="show/top: cap the rows printed "
+                        "(show: all, top: 10)")
+    p.add_argument("--by", default="trampoline-bytes",
+                   choices=["trampoline-bytes", "unreached",
+                            "analysis-seconds", "indirect-targets"],
+                   help="top: ranking field (default trampoline-bytes)")
+    _add_pipeline_args(p)
+    p.set_defaults(func=cmd_atlas)
 
     p = sub.add_parser("run", help="run a (possibly rewritten) binary")
     p.add_argument("binary")

@@ -15,6 +15,7 @@ from repro.core.modes import (
     MODE_LADDER,
     MODE_SKIP,
     RewriteMode,
+    ladder_rung,
 )
 from repro.core.pipeline import (
     AnalysisCacheView,
@@ -51,6 +52,7 @@ __all__ = [
     "RewriteMode",
     "MODE_LADDER",
     "MODE_SKIP",
+    "ladder_rung",
     "DegradationReport",
     "FunctionDegradation",
     "IncrementalRewriter",

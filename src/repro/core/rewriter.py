@@ -55,8 +55,10 @@ from repro.core.trampolines import ScratchPool, TrampolineInstaller
 from repro.isa import get_arch
 from repro.isa.archspec import ILLEGAL_BYTE
 from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs.atlas import AtlasBuilder
 from repro.obs.receipt import (
     RewriteReceipt,
+    content_digest,
     delta_metrics,
     snapshot_metrics,
 )
@@ -151,7 +153,8 @@ class IncrementalRewriter:
                  function_order="address", block_order="address",
                  tracer=None, metrics=None, cache=None, executor=None,
                  jobs=1, executor_kind="thread", degrade=True,
-                 worker_faults=None, receipt_sink=None, workload=None):
+                 worker_faults=None, receipt_sink=None, workload=None,
+                 atlas_sink=None):
         self.mode = (RewriteMode.parse(mode) if isinstance(mode, str)
                      else mode)
         self.instrumentation = instrumentation or EmptyInstrumentation()
@@ -193,8 +196,16 @@ class IncrementalRewriter:
         self.receipt_sink = receipt_sink
         #: workload label stamped on emitted receipts
         self.workload = workload
+        #: coverage/precision sink: a :class:`repro.obs.AtlasLedger`
+        #: (or any callable) receiving one
+        #: :class:`repro.obs.RewriteAtlas` per successful rewrite,
+        #: assembled stage-by-stage with no re-analysis; None disables
+        #: atlas emission
+        self.atlas_sink = atlas_sink
         #: the most recent rewrite's receipt (None until one is emitted)
         self.last_receipt = None
+        #: the most recent rewrite's atlas (None until one is emitted)
+        self.last_atlas = None
 
     # -- public ---------------------------------------------------------------
 
@@ -212,6 +223,8 @@ class IncrementalRewriter:
         metrics = self.metrics
         emit = self.receipt_sink is not None
         before = snapshot_metrics(metrics) if emit else None
+        #: only an atlas emitted by *this* rewrite may link its receipt
+        self.last_atlas = None
         t0 = time.perf_counter()
         error = None
         rewritten = report = None
@@ -269,12 +282,25 @@ class IncrementalRewriter:
             workload=self.workload,
             options=self.resolved_options(),
             error=error,
+            atlas_digest=(self.last_atlas.atlas_id
+                          if self.last_atlas is not None else None),
         )
         self.last_receipt = receipt
         sink = self.receipt_sink
         append = getattr(sink, "append", None)
         (append if append is not None else sink)(receipt)
         return receipt
+
+    def _emit_atlas(self, builder, binary, rewritten):
+        atlas = builder.finish(
+            input_digest=content_digest(binary),
+            output_digest=content_digest(rewritten),
+        )
+        self.last_atlas = atlas
+        sink = self.atlas_sink
+        append = getattr(sink, "append", None)
+        (append if append is not None else sink)(atlas)
+        return atlas
 
     def _rewrite_traced(self, binary, tr, metrics):
         spec = get_arch(binary.arch_name)
@@ -311,6 +337,10 @@ class IncrementalRewriter:
 
     def _rewrite_staged(self, binary, tr, metrics, spec, pipeline_cache,
                         downstream_cache, executor):
+        # The atlas builder rides along the stages, accounting data each
+        # stage already computed — emission never re-analyzes anything.
+        atlas = (AtlasBuilder(workload=self.workload)
+                 if self.atlas_sink is not None else None)
         with tr.span("cfg-construction"):
             cfg = build_cfg(binary, self.construction_options,
                             tracer=tr, metrics=metrics,
@@ -329,6 +359,9 @@ class IncrementalRewriter:
                     category=rec.category,
                     mode=str(self.mode),
                 )
+            if atlas is not None:
+                atlas.observe_cfg(cfg, spec.name, str(self.mode),
+                                  binary.metadata.get("text_range"))
 
         with tr.span("funcptr-analysis"):
             funcptrs = analyze_function_pointers(
@@ -338,6 +371,8 @@ class IncrementalRewriter:
             tr.count("data_defs", len(funcptrs.data_defs))
             tr.count("code_defs", len(funcptrs.code_defs))
             tr.count("derived_defs", len(funcptrs.derived_defs))
+            if atlas is not None:
+                atlas.observe_funcptrs(funcptrs)
             if self.mode.rewrites_function_pointers \
                     and not funcptrs.precise and not self.degrade:
                 raise RewriteError(
@@ -379,6 +414,9 @@ class IncrementalRewriter:
             degraded_entries = set(fn_modes)
             skip_entries = {entry for entry, m in fn_modes.items()
                             if m == MODE_SKIP}
+            if atlas is not None:
+                atlas.observe_plan(degradation,
+                                   {f.entry for f in candidate_fns})
 
         relocated_fns = [
             f for f in candidate_fns if f.entry not in skip_entries
@@ -460,11 +498,14 @@ class IncrementalRewriter:
             metrics.inc("relocation.functions", len(emit_order))
             metrics.inc("relocation.clones", len(reloc.clones))
             metrics.inc("relocation.instr_bytes", len(instr_bytes))
+            if atlas is not None:
+                atlas.observe_relocation(reloc.block_labels)
 
         with tr.span("trampoline-installation"):
+            pad_ranges = padding_ranges(binary, cfg, spec)
             pool = ScratchPool(
                 list(placement.scratch_ranges)
-                + padding_ranges(binary, cfg, spec)
+                + pad_ranges
                 + list(dead_ranges)
             )
             installer = TrampolineInstaller(
@@ -483,6 +524,9 @@ class IncrementalRewriter:
                     sb.cfl_start)
                 installer.install(sb.function, sb.cfl_start, sb.size,
                                   target, dead)
+            if atlas is not None:
+                atlas.observe_padding(pad_ranges)
+                atlas.observe_trampolines(installer.records)
 
         with tr.span("funcptr-redirection") as span:
             redirected = 0
@@ -545,6 +589,9 @@ class IncrementalRewriter:
         metrics.inc("rewrite.runs")
         metrics.set_gauge("rewrite.coverage", report.coverage)
         metrics.set_gauge("rewrite.size_increase", report.size_increase)
+        if atlas is not None:
+            atlas.observe_provenance(cfg.work_items)
+            self._emit_atlas(atlas, binary, out)
         return out, report
 
     def runtime_library(self, rewritten):

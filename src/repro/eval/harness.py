@@ -73,6 +73,9 @@ class ToolRun:
     #: the rewrite's :class:`repro.obs.RewriteReceipt` (None for tools
     #: without receipt support)
     receipt: object = field(default=None, repr=False)
+    #: the rewrite's :class:`repro.obs.RewriteAtlas` (None unless the
+    #: caller passed an ``atlas_sink`` and the tool speaks atlases)
+    atlas: object = field(default=None, repr=False)
 
 
 def make_tool(name, instrumentation=None, scorch=True, **kwargs):
@@ -131,7 +134,7 @@ def _discard_receipt(receipt):
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                   instrumentation=None, tracer=None, metrics=None,
                   flight=None, cache=None, jobs=None, faults=None,
-                  receipt_sink=None, **tool_kwargs):
+                  receipt_sink=None, atlas_sink=None, **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
@@ -165,6 +168,13 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     persists the rewrite's provenance receipt; even without one, tools
     that speak receipts get a discard sink so the receipt is still
     assembled and attached to :attr:`ToolRun.receipt`.
+
+    ``atlas_sink`` (a :class:`repro.obs.AtlasLedger` or callable) turns
+    on per-function coverage/precision accounting; the assembled
+    :class:`repro.obs.RewriteAtlas` comes back on
+    :attr:`ToolRun.atlas`.  Unlike receipts there is no default discard
+    sink — atlas assembly walks every function, so it runs only on
+    request.
     """
     attach = tracer if tracer is not None else None
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -188,6 +198,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                                      if receipt_sink is not None
                                      else _discard_receipt)
             rewriter.workload = benchmark or None
+        if atlas_sink is not None and hasattr(rewriter, "atlas_sink"):
+            rewriter.atlas_sink = atlas_sink
         if faults is not None:
             _apply_faults(rewriter, faults, cache)
         before = _cache_snapshot(metrics)
@@ -205,7 +217,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         metrics.inc("harness.errors")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
                        error=error, trace=attach, flight=flight,
-                       receipt=getattr(rewriter, "last_receipt", None))
+                       receipt=getattr(rewriter, "last_receipt", None),
+                       atlas=getattr(rewriter, "last_atlas", None))
     mem_peak = None
     if attach is not None:
         rewrite_span = attach.find("rewrite")
@@ -221,7 +234,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                        cache_misses=cache_stats[1],
                        analysis_seconds_saved=cache_stats[2],
                        mem_peak=mem_peak,
-                       receipt=getattr(rewriter, "last_receipt", None))
+                       receipt=getattr(rewriter, "last_receipt", None),
+                       atlas=getattr(rewriter, "last_atlas", None))
     return ToolRun(
         tool=tool,
         benchmark=benchmark,
@@ -246,6 +260,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         trace=attach,
         flight=flight,
         receipt=getattr(rewriter, "last_receipt", None),
+        atlas=getattr(rewriter, "last_atlas", None),
     )
 
 

@@ -20,6 +20,16 @@ append-only :class:`ReceiptLedger` — both speaking the shared store
 discipline of :mod:`repro.obs.store`.
 """
 
+from repro.obs.atlas import (
+    AtlasBuilder,
+    AtlasLedger,
+    RewriteAtlas,
+    diff_atlases,
+    render_atlas,
+    render_atlas_diff,
+    render_atlas_list,
+    render_atlas_top,
+)
 from repro.obs.degrade import render_degradation
 from repro.obs.flight import FlightRecorder, render_flight_report
 from repro.obs.observatory import (
@@ -30,6 +40,7 @@ from repro.obs.observatory import (
     render_sentinel_report,
     render_trend,
     stamp_record,
+    trend_document,
 )
 from repro.obs.receipt import (
     ReceiptLedger,
@@ -83,7 +94,16 @@ __all__ = [
     "RegressionSentinel",
     "render_sentinel_report",
     "render_trend",
+    "trend_document",
     "stamp_record",
+    "RewriteAtlas",
+    "AtlasBuilder",
+    "AtlasLedger",
+    "diff_atlases",
+    "render_atlas",
+    "render_atlas_list",
+    "render_atlas_top",
+    "render_atlas_diff",
     "RewriteReceipt",
     "ReceiptLedger",
     "content_digest",

@@ -1,0 +1,633 @@
+"""The rewrite atlas: per-function coverage & precision accounting.
+
+A :class:`RewriteAtlas` is the analysis-quality record of one rewrite —
+one row per function (CFG shape, byte coverage split into
+cfg/padding/unreached, indirect-target set size with a precision class,
+the degradation ladder's verdict, trampoline count/bytes by kind,
+relocated blocks, per-stage cache provenance, analysis wall time) plus
+whole-binary rollups (text-byte coverage fractions, mode distribution,
+precision histogram, trampoline space overhead).  It is the standing
+measurement instrument behind the paper's evaluation numbers: Figure 2's
+mode distribution and Table 2's space overhead are reproducible from the
+atlas alone, and any precision-affecting change shows up as an
+``atlas diff``.
+
+Atlases are assembled *during* a rewrite — :class:`AtlasBuilder` is fed
+by the pipeline stages as they run, so nothing is re-analyzed — and are
+schema-versioned and content-addressed like receipts: ``atlas_id`` is
+the SHA-256 of the canonical JSON body.  Two rewrites of the same input
+with the same options produce atlases that are identical *modulo
+timings*: :meth:`RewriteAtlas.comparable_dict` strips the wall-clock and
+cache-provenance fields (the only legitimate cold-vs-warm difference),
+and :func:`diff_atlases` compares those.  A coverage regression — a
+function losing cfg bytes, falling down the ladder, or disappearing —
+is flagged so ``repro atlas diff`` can gate on it.
+
+The :class:`AtlasLedger` persists atlases as JSON lines under the shared
+obs store discipline (:mod:`repro.obs.store`): atomic writes,
+corrupt/foreign lines skipped-and-counted on load but preserved on
+append.  Each atlas links back to its receipt via the ``atlas_digest``
+field on :class:`~repro.obs.receipt.RewriteReceipt`.
+
+Everything here speaks plain data and duck types its inputs — this
+module never imports :mod:`repro.core`.
+"""
+
+import bisect
+import hashlib
+import json
+import time
+
+from repro.obs.store import JsonlStore
+
+#: Schema tag; bump the version when a field changes meaning.
+ATLAS_SCHEMA = "RewriteAtlas/v1"
+
+DEFAULT_ATLAS_LEDGER = "ATLAS.jsonl"
+
+#: The degradation ladder's absolute rungs, mirrored as plain data so
+#: this module stays core-free; ``test_atlas`` cross-checks the table
+#: against :func:`repro.core.modes.ladder_rung`.
+MODE_RUNGS = {"func-ptr": 0, "jt": 1, "dir": 2, "skip": 3}
+
+#: ``repro atlas top --by`` orderings: flag value -> (row field, label).
+TOP_ORDERINGS = {
+    "trampoline-bytes": ("trampoline_bytes", "trampoline bytes"),
+    "unreached": ("unreached_bytes", "unreached bytes"),
+    "analysis-seconds": ("analysis_seconds", "analysis seconds"),
+    "indirect-targets": ("indirect_targets", "indirect targets"),
+}
+
+__all__ = [
+    "ATLAS_SCHEMA",
+    "DEFAULT_ATLAS_LEDGER",
+    "MODE_RUNGS",
+    "TOP_ORDERINGS",
+    "AtlasBuilder",
+    "RewriteAtlas",
+    "AtlasLedger",
+    "diff_atlases",
+    "render_atlas",
+    "render_atlas_list",
+    "render_atlas_top",
+    "render_atlas_diff",
+]
+
+
+class AtlasBuilder:
+    """Accumulates one atlas as the pipeline stages run.
+
+    The rewriter calls one ``observe_*`` method per stage with the data
+    that stage already computed — the builder only *accounts*, it never
+    re-analyzes.  ``finish`` seals the rows, computes the rollups, and
+    returns the :class:`RewriteAtlas`.
+    """
+
+    def __init__(self, workload=None):
+        self.workload = workload
+        self.arch = None
+        self.mode = None
+        self._rows = {}          # function name -> row dict
+        self._entries = []       # sorted entry addrs (address -> row)
+        self._by_entry = {}      # entry addr -> row dict
+        self._failed = {}        # function name -> failure reason
+        self._text_range = None
+
+    # -- per-stage feeds -----------------------------------------------------
+
+    def observe_cfg(self, cfg, arch, mode, text_range=None):
+        """cfg-construction: one row per non-runtime-support function —
+        CFG shape (blocks/edges), body extent, cfg byte coverage, and
+        the jump-table-resolved indirect target set."""
+        self.arch = arch
+        self.mode = str(mode)
+        self._text_range = list(text_range) if text_range else None
+        for fcfg in cfg.sorted_functions():
+            if fcfg.is_runtime_support:
+                continue
+            low = fcfg.low
+            high = fcfg.high
+            cfg_bytes = sum(b.size for b in fcfg.blocks.values())
+            targets = {t for table in fcfg.jump_tables
+                       for t in table.targets}
+            row = {
+                "function": fcfg.name,
+                "entry": fcfg.entry,
+                "body_bytes": max(0, high - low),
+                "blocks": len(fcfg.blocks),
+                "edges": sum(len(b.succs) for b in fcfg.blocks.values()),
+                "cfg_bytes": cfg_bytes,
+                "padding_bytes": 0,
+                "unreached_bytes": max(0, (high - low) - cfg_bytes),
+                "indirect_targets": len(targets),
+                "precision": "precise",
+                "mode": self.mode,
+                "rung": MODE_RUNGS.get(self.mode, 0),
+                "reason": "",
+                "trampolines": {},
+                "trampoline_bytes": 0,
+                "relocated_blocks": 0,
+                "provenance": {},
+                "analysis_seconds": 0.0,
+            }
+            self._rows[fcfg.name] = row
+            self._by_entry[fcfg.entry] = row
+            if fcfg.failed:
+                self._failed[fcfg.name] = str(fcfg.failed)
+        self._entries = sorted(self._by_entry)
+
+    def observe_funcptrs(self, funcptrs):
+        """funcptr-analysis: per-function precision class plus the
+        pointer definitions that target each function's entry (they
+        join the jump-table targets in the indirect-target count)."""
+        targeting = {}
+        for attr in ("data_defs", "code_defs"):
+            for d in getattr(funcptrs, attr, ()) or ():
+                targeting.setdefault(d.target, set()).add(
+                    getattr(d, "slot", None) or ("code", d.target))
+        for row in self._rows.values():
+            row["precision"] = funcptrs.precision_class(row["function"])
+            row["indirect_targets"] += len(
+                targeting.get(row["entry"], ()))
+
+    def observe_plan(self, degradation, candidate_entries):
+        """degradation-planning: the ladder's verdict per function.
+
+        Failed functions and functions the instrumentation did not
+        select land on ``skip`` with their reason; degraded functions
+        get the ladder's final mode/rung/reason; everything else keeps
+        the requested mode (already stamped by ``observe_cfg``)."""
+        candidates = set(candidate_entries)
+        for row in self._rows.values():
+            name = row["function"]
+            if name in self._failed:
+                self._set_mode(row, "skip", self._failed[name])
+            elif row["entry"] not in candidates:
+                self._set_mode(row, "skip",
+                               "not selected for instrumentation")
+        for rec in getattr(degradation, "entries", ()) or ():
+            row = self._rows.get(rec.function)
+            if row is not None:
+                self._set_mode(row, str(rec.final), rec.reason)
+
+    @staticmethod
+    def _set_mode(row, mode, reason):
+        row["mode"] = mode
+        row["rung"] = MODE_RUNGS.get(mode, len(MODE_RUNGS) - 1)
+        row["reason"] = reason
+
+    def observe_padding(self, pad_ranges):
+        """trampoline-installation: verified inter-function nop runs,
+        each attributed to the function whose body precedes it."""
+        for start, end in pad_ranges:
+            row = self._row_at(start)
+            if row is not None:
+                row["padding_bytes"] += max(0, end - start)
+
+    def observe_relocation(self, block_labels):
+        """relocation: how many of each function's blocks got relocated
+        (the per-function relocation count)."""
+        for addr in block_labels:
+            row = self._row_at(addr)
+            if row is not None:
+                row["relocated_blocks"] += 1
+
+    def observe_trampolines(self, records):
+        """trampoline-installation: count and byte cost per function,
+        split by trampoline kind."""
+        for rec in records:
+            row = self._rows.get(rec.function)
+            if row is None:
+                continue
+            nbytes = sum(n for _, n in rec.written)
+            kind = row["trampolines"].setdefault(
+                rec.kind, {"count": 0, "bytes": 0})
+            kind["count"] += 1
+            kind["bytes"] += nbytes
+            row["trampoline_bytes"] += nbytes
+
+    def observe_provenance(self, work_items):
+        """emit-layout: per-stage cache hit/miss provenance and analysis
+        wall time off the pipeline's work items."""
+        for entry, item in work_items.items():
+            row = self._by_entry.get(entry)
+            if row is None:
+                continue
+            row["provenance"] = {
+                kind: "hit" if hit else "miss"
+                for kind, hit in sorted(item.cached.items())
+            }
+            row["analysis_seconds"] = sum(item.seconds.values())
+
+    def _row_at(self, addr):
+        """The row owning ``addr``: the nearest function entry at or
+        below it (padding and block addresses always trail an entry)."""
+        idx = bisect.bisect_right(self._entries, addr) - 1
+        if idx < 0:
+            return None
+        return self._by_entry[self._entries[idx]]
+
+    # -- sealing -------------------------------------------------------------
+
+    def finish(self, input_digest=None, output_digest=None):
+        """Seal the rows, compute the rollups, return the atlas."""
+        rows = [self._rows[self._by_entry[e]["function"]]
+                for e in self._entries]
+        return RewriteAtlas(
+            workload=self.workload,
+            arch=self.arch,
+            mode=self.mode,
+            input_digest=input_digest,
+            output_digest=output_digest,
+            functions=rows,
+            rollup=_rollup(rows, self._text_range),
+        )
+
+
+def _rollup(rows, text_range):
+    """Whole-binary aggregates over the sealed rows."""
+    text_bytes = 0
+    if text_range and len(text_range) == 2:
+        text_bytes = max(0, text_range[1] - text_range[0])
+    cfg_bytes = sum(r["cfg_bytes"] for r in rows)
+    padding = sum(r["padding_bytes"] for r in rows)
+    unreached = sum(r["unreached_bytes"] for r in rows)
+    modes = {}
+    precision = {}
+    trampolines = {}
+    tramp_bytes = 0
+    for r in rows:
+        modes[r["mode"]] = modes.get(r["mode"], 0) + 1
+        precision[r["precision"]] = precision.get(r["precision"], 0) + 1
+        for kind, entry in r["trampolines"].items():
+            agg = trampolines.setdefault(kind, {"count": 0, "bytes": 0})
+            agg["count"] += entry["count"]
+            agg["bytes"] += entry["bytes"]
+        tramp_bytes += r["trampoline_bytes"]
+    denom = text_bytes or (cfg_bytes + padding + unreached) or 1
+    return {
+        "functions": len(rows),
+        "text_bytes": text_bytes,
+        "cfg_bytes": cfg_bytes,
+        "padding_bytes": padding,
+        "unreached_bytes": unreached,
+        "cfg_fraction": cfg_bytes / denom,
+        "padding_fraction": padding / denom,
+        "unreached_fraction": unreached / denom,
+        "mode_distribution": modes,
+        "precision_histogram": precision,
+        "trampolines": trampolines,
+        "trampoline_bytes": tramp_bytes,
+        "trampoline_overhead": tramp_bytes / denom,
+        "relocated_blocks": sum(r["relocated_blocks"] for r in rows),
+        "analysis_seconds": sum(r["analysis_seconds"] for r in rows),
+    }
+
+
+class RewriteAtlas:
+    """One rewrite's sealed coverage/precision record."""
+
+    __slots__ = ("workload", "arch", "mode", "input_digest",
+                 "output_digest", "functions", "rollup", "unix_time")
+
+    def __init__(self, workload, arch, mode, input_digest=None,
+                 output_digest=None, functions=None, rollup=None,
+                 unix_time=None):
+        self.workload = workload
+        self.arch = arch
+        self.mode = mode
+        self.input_digest = input_digest
+        self.output_digest = output_digest
+        #: row dicts, sorted by function entry address
+        self.functions = list(functions or [])
+        self.rollup = dict(rollup or {})
+        self.unix_time = time.time() if unix_time is None else unix_time
+
+    # -- identity ------------------------------------------------------------
+
+    def body_dict(self):
+        """The id-covered payload: everything but the id itself."""
+        return {
+            "schema": ATLAS_SCHEMA,
+            "workload": self.workload,
+            "arch": self.arch,
+            "mode": self.mode,
+            "input_digest": self.input_digest,
+            "output_digest": self.output_digest,
+            "functions": [dict(r) for r in self.functions],
+            "rollup": dict(self.rollup),
+            "unix_time": self.unix_time,
+        }
+
+    @property
+    def atlas_id(self):
+        """Content address: SHA-256 of the canonical JSON body."""
+        canonical = json.dumps(self.body_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def short_id(self):
+        return self.atlas_id[:12]
+
+    def comparable_dict(self):
+        """The body with every timing-dependent field stripped: per-row
+        ``analysis_seconds`` and cache ``provenance`` (a warm rewrite
+        hits where a cold one missed), the rollup's ``analysis_seconds``
+        and ``unix_time``.  Two rewrites of the same input under the
+        same options must agree on this — byte-identical outputs imply
+        identical comparable atlases."""
+        body = self.body_dict()
+        body.pop("unix_time", None)
+        for row in body["functions"]:
+            row.pop("analysis_seconds", None)
+            row.pop("provenance", None)
+        body["rollup"].pop("analysis_seconds", None)
+        return body
+
+    def row(self, function_name):
+        for r in self.functions:
+            if r["function"] == function_name:
+                return r
+        return None
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        out = self.body_dict()
+        out["atlas_id"] = self.atlas_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Parse one ledger entry; raises ValueError on corrupt or
+        foreign input (wrong shape, missing schema, alien schema)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"not an atlas object: {type(data).__name__}")
+        schema = data.get("schema", "")
+        if not isinstance(schema, str) \
+                or not schema.startswith("RewriteAtlas/"):
+            raise ValueError(f"foreign schema {schema!r}")
+        try:
+            return cls(
+                workload=data.get("workload"),
+                arch=data["arch"],
+                mode=data["mode"],
+                input_digest=data.get("input_digest"),
+                output_digest=data.get("output_digest"),
+                functions=[dict(r) for r in data["functions"]],
+                rollup=dict(data["rollup"]),
+                unix_time=data.get("unix_time", 0.0),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"corrupt atlas: {exc}")
+
+    def __repr__(self):
+        return (f"<RewriteAtlas {self.short_id} "
+                f"{self.workload or '?'}/{self.arch}/{self.mode} "
+                f"{len(self.functions)} function(s)>")
+
+
+# -- the ledger --------------------------------------------------------------
+
+
+class AtlasLedger:
+    """Append-only atlas store behind ``ATLAS.jsonl`` — the shared obs
+    store discipline (:mod:`repro.obs.store`): atomic writes,
+    corrupt/foreign lines skipped-and-counted on load, preserved
+    verbatim on append."""
+
+    def __init__(self, path=DEFAULT_ATLAS_LEDGER):
+        self.path = path
+        self._store = JsonlStore(path)
+        #: corrupt/foreign lines seen by the most recent load()
+        self.skipped = 0
+
+    def load(self):
+        """Every parseable :class:`RewriteAtlas`, oldest first."""
+        raw, bad = self._store.load_raw()
+        atlases = []
+        skipped = bad
+        for obj in raw:
+            try:
+                atlases.append(RewriteAtlas.from_dict(obj))
+            except ValueError:
+                skipped += 1
+        self.skipped = skipped
+        return atlases
+
+    def append(self, atlas):
+        """Append one atlas; atomic, existing lines preserved."""
+        return self._store.append_raw(atlas.to_dict())
+
+    def find(self, id_prefix):
+        """The unique atlas whose id starts with ``id_prefix``; the
+        literal id ``latest`` resolves to the newest ledger entry.
+
+        Raises :class:`LookupError` when none or several match."""
+        atlases = self.load()
+        if id_prefix == "latest":
+            if not atlases:
+                raise LookupError("atlas ledger is empty; no latest")
+            return atlases[-1]
+        matches = [a for a in atlases
+                   if a.atlas_id.startswith(id_prefix)]
+        if not matches:
+            raise LookupError(f"no atlas matches {id_prefix!r}")
+        if len(matches) > 1:
+            raise LookupError(
+                f"{id_prefix!r} is ambiguous: {len(matches)} atlases "
+                f"match")
+        return matches[0]
+
+    def __repr__(self):
+        return f"<AtlasLedger {self.path}>"
+
+
+# -- diffing -----------------------------------------------------------------
+
+#: Per-function fields ``diff_atlases`` compares (timings excluded).
+_DIFF_FIELDS = ("cfg_bytes", "padding_bytes", "unreached_bytes", "mode",
+                "rung", "precision", "indirect_targets",
+                "trampoline_bytes", "relocated_blocks")
+
+
+def diff_atlases(a, b):
+    """A structured comparison of two atlases (a -> b).
+
+    The identity question first — same input? identical modulo
+    timings? — then per-function and rollup deltas over the semantic
+    fields.  ``coverage_regressed`` is True when b soundly covers less
+    than a: a function disappeared, lost cfg bytes, or fell down the
+    ladder (a larger rung).  Extra trampoline bytes are reported but
+    are *overhead*, not a coverage regression.
+    """
+    rows_a = {r["function"]: r for r in a.functions}
+    rows_b = {r["function"]: r for r in b.functions}
+    function_deltas = {}
+    regressions = []
+    for name in sorted(set(rows_a) | set(rows_b)):
+        ra, rb = rows_a.get(name), rows_b.get(name)
+        if ra is None or rb is None:
+            function_deltas[name] = {"only_in": "a" if rb is None
+                                     else "b"}
+            if rb is None:
+                regressions.append(f"{name}: present in a, lost in b")
+            continue
+        changed = {}
+        for field in _DIFF_FIELDS:
+            if ra[field] != rb[field]:
+                changed[field] = {"a": ra[field], "b": rb[field]}
+        if changed:
+            function_deltas[name] = changed
+        if rb["cfg_bytes"] < ra["cfg_bytes"]:
+            regressions.append(
+                f"{name}: cfg coverage {ra['cfg_bytes']} -> "
+                f"{rb['cfg_bytes']} bytes")
+        if rb["rung"] > ra["rung"]:
+            regressions.append(
+                f"{name}: mode {ra['mode']} -> {rb['mode']} "
+                f"(down the ladder)")
+    rollup_deltas = {}
+    for key in sorted(set(a.rollup) | set(b.rollup)):
+        va, vb = a.rollup.get(key), b.rollup.get(key)
+        if key == "analysis_seconds" or va == vb:
+            continue
+        rollup_deltas[key] = {"a": va, "b": vb}
+    return {
+        "a": a.atlas_id,
+        "b": b.atlas_id,
+        "same_input": a.input_digest == b.input_digest,
+        "same_output": a.output_digest == b.output_digest,
+        "identical": a.comparable_dict() == b.comparable_dict(),
+        "function_deltas": function_deltas,
+        "rollup_deltas": rollup_deltas,
+        "regressions": regressions,
+        "coverage_regressed": bool(regressions),
+    }
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _short(digest, n=12):
+    return digest[:n] if digest else "-"
+
+
+def _row_line(r):
+    tramp = ",".join(f"{k}:{v['count']}"
+                     for k, v in sorted(r["trampolines"].items()))
+    return (f"  {r['function']:<20} {r['mode']:<8} "
+            f"{r['precision']:<18} {r['blocks']:>4} {r['cfg_bytes']:>7} "
+            f"{r['padding_bytes']:>4} {r['unreached_bytes']:>6} "
+            f"{r['indirect_targets']:>4} {r['trampoline_bytes']:>6} "
+            f"{tramp or '-'}")
+
+
+_ROW_HEADER = (f"  {'function':<20} {'mode':<8} {'precision':<18} "
+               f"{'blks':>4} {'cfg':>7} {'pad':>4} {'unrch':>6} "
+               f"{'ind':>4} {'tramp':>6} kinds")
+
+
+def render_atlas(atlas, limit=0):
+    """The ``repro atlas show`` body: rollups first, then the rows
+    (all of them unless ``limit`` truncates)."""
+    a = atlas
+    roll = a.rollup
+    lines = [
+        f"atlas {a.short_id}  {a.workload or '-'}/{a.arch}/{a.mode}",
+        f"  input:     {_short(a.input_digest, 16)}",
+        f"  output:    {_short(a.output_digest, 16)}",
+        f"  functions: {roll.get('functions', len(a.functions))}",
+        f"  coverage:  cfg {roll.get('cfg_fraction', 0):.1%} / "
+        f"padding {roll.get('padding_fraction', 0):.1%} / "
+        f"unreached {roll.get('unreached_fraction', 0):.1%} "
+        f"of {roll.get('text_bytes', 0):,} text byte(s)",
+        f"  modes:     " + (" ".join(
+            f"{m}={n}" for m, n in
+            sorted(roll.get("mode_distribution", {}).items())) or "-"),
+        f"  precision: " + (" ".join(
+            f"{p}={n}" for p, n in
+            sorted(roll.get("precision_histogram", {}).items())) or "-"),
+        f"  overhead:  {roll.get('trampoline_bytes', 0):,} trampoline "
+        f"byte(s) ({roll.get('trampoline_overhead', 0):.2%} of text), "
+        f"{roll.get('relocated_blocks', 0)} relocated block(s)",
+        f"  analysis:  {roll.get('analysis_seconds', 0) * 1e3:.1f}ms "
+        f"attributed",
+    ]
+    rows = a.functions[:limit] if limit else a.functions
+    if rows:
+        lines.append(_ROW_HEADER)
+        lines.extend(_row_line(r) for r in rows)
+    if limit and len(a.functions) > limit:
+        lines.append(f"  ... {len(a.functions) - limit} more row(s)")
+    return "\n".join(lines)
+
+
+def render_atlas_list(atlases, skipped=0):
+    """The ``repro atlas list`` table."""
+    if not atlases:
+        return "(empty ledger)"
+    lines = [f"{len(atlases)} atlas(es)"
+             + (f", {skipped} skipped line(s)" if skipped else "")]
+    lines.append(f"  {'id':<12}  {'workload':<16} {'arch/mode':<12} "
+                 f"{'fns':>4} {'cfg%':>6} {'tramp':>7}  {'output':<12}")
+    for a in atlases:
+        roll = a.rollup
+        lines.append(
+            f"  {a.short_id:<12}  {(a.workload or '-'):<16} "
+            f"{a.arch + '/' + a.mode:<12} "
+            f"{roll.get('functions', 0):>4} "
+            f"{roll.get('cfg_fraction', 0):>6.1%} "
+            f"{roll.get('trampoline_bytes', 0):>7,}  "
+            f"{_short(a.output_digest):<12}")
+    return "\n".join(lines)
+
+
+def render_atlas_top(atlas, by="trampoline-bytes", limit=10):
+    """The ``repro atlas top`` body: rows ranked by one cost field."""
+    field, label = TOP_ORDERINGS[by]
+    ranked = sorted(atlas.functions, key=lambda r: r[field],
+                    reverse=True)[:limit]
+    lines = [f"atlas {atlas.short_id} — top {len(ranked)} by {label}"]
+    lines.append(_ROW_HEADER)
+    lines.extend(_row_line(r) for r in ranked)
+    return "\n".join(lines)
+
+
+def render_atlas_diff(a, b, diff=None):
+    """The ``repro atlas diff`` body; verdict first, deltas after."""
+    if diff is None:
+        diff = diff_atlases(a, b)
+    lines = [f"atlas diff {a.short_id} -> {b.short_id}"]
+    lines.append("  input:    "
+                 + ("identical" if diff["same_input"]
+                    else f"DIFFERENT ({_short(a.input_digest)} vs "
+                         f"{_short(b.input_digest)})"))
+    lines.append("  output:   "
+                 + ("identical" if diff["same_output"]
+                    else f"DIFFERENT ({_short(a.output_digest)} vs "
+                         f"{_short(b.output_digest)})"))
+    if diff["identical"]:
+        lines.append("  verdict:  identical modulo timings "
+                     "(zero coverage/mode/overhead deltas)")
+        return "\n".join(lines)
+    for name, changed in diff["function_deltas"].items():
+        if "only_in" in changed:
+            lines.append(f"  {name}: only in {changed['only_in']}")
+            continue
+        parts = ", ".join(f"{f} {e['a']} -> {e['b']}"
+                          for f, e in sorted(changed.items()))
+        lines.append(f"  {name}: {parts}")
+    for key, entry in diff["rollup_deltas"].items():
+        va, vb = entry["a"], entry["b"]
+        if isinstance(va, float) or isinstance(vb, float):
+            lines.append(f"  rollup {key}: {va:.4f} -> {vb:.4f}")
+        else:
+            lines.append(f"  rollup {key}: {va} -> {vb}")
+    if diff["coverage_regressed"]:
+        lines.append("  verdict:  COVERAGE REGRESSED")
+        for reason in diff["regressions"]:
+            lines.append(f"    {reason}")
+    else:
+        lines.append("  verdict:  changed, no coverage regression")
+    return "\n".join(lines)

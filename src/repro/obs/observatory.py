@@ -38,6 +38,7 @@ from repro.obs.trace import format_bytes
 PERF_SAMPLE_SCHEMA = "PerfSample/v1"
 HISTORY_SCHEMA = "BENCH_history/v1"
 BENCH_RECORD_SCHEMA = "BENCH_record/v1"
+TREND_SCHEMA = "PerfTrend/v1"
 
 DEFAULT_HISTORY = "BENCH_history.json"
 
@@ -533,6 +534,33 @@ def render_sentinel_report(report):
             )
     lines.append(f"grade: {report.grade.upper()}")
     return "\n".join(lines)
+
+
+def trend_document(samples, window=8):
+    """The machine-readable twin of :func:`render_trend` — the body of
+    ``repro perf report --json``.
+
+    One schema-tagged document: every workload/arch/mode key with its
+    sample count, distinct fingerprint count, and the last ``window``
+    samples as full :meth:`PerfSample.to_dict` rows, so CI and external
+    tooling consume the history without scraping the table."""
+    by_key = {}
+    for s in samples:
+        by_key.setdefault(s.key, []).append(s)
+    keys = []
+    for key in sorted(by_key):
+        workload, arch, mode = key
+        group = by_key[key]
+        keys.append({
+            "workload": workload,
+            "arch": arch,
+            "mode": mode,
+            "samples": len(group),
+            "fingerprints": len({s.fingerprint.key for s in group}),
+            "rows": [s.to_dict() for s in group[-window:]],
+        })
+    return {"schema": TREND_SCHEMA, "samples": len(samples),
+            "window": window, "keys": keys}
 
 
 def render_trend(samples, window=8):

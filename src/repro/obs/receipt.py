@@ -165,13 +165,14 @@ class RewriteReceipt:
                  "output_digest", "options", "fingerprint",
                  "total_seconds", "stages", "mem_peak", "cache",
                  "workers", "degradation", "outcome", "error",
-                 "unix_time")
+                 "atlas_digest", "unix_time")
 
     def __init__(self, workload, arch, mode, input_digest,
                  output_digest=None, options=None, fingerprint=None,
                  total_seconds=0.0, stages=None, mem_peak=None,
                  cache=None, workers=None, degradation=None,
-                 outcome="ok", error=None, unix_time=None):
+                 outcome="ok", error=None, atlas_digest=None,
+                 unix_time=None):
         self.workload = workload
         self.arch = arch
         self.mode = mode
@@ -193,12 +194,15 @@ class RewriteReceipt:
         self.outcome = outcome
         #: {"type": ..., "message": ...} when the rewrite failed
         self.error = dict(error) if error else None
+        #: atlas_id of the rewrite's :class:`repro.obs.atlas
+        #: .RewriteAtlas`, when one was emitted alongside this receipt
+        self.atlas_digest = atlas_digest
         self.unix_time = time.time() if unix_time is None else unix_time
 
     @classmethod
     def from_rewrite(cls, binary, rewritten, report, span, delta,
                      total_seconds, workload=None, options=None,
-                     fingerprint=None, error=None):
+                     fingerprint=None, error=None, atlas_digest=None):
         """Assemble a receipt off one observed rewrite.
 
         Duck-typed: ``binary``/``rewritten`` need ``to_bytes()`` (and
@@ -233,6 +237,7 @@ class RewriteReceipt:
             degradation=degradation,
             outcome="ok" if error is None else "failed",
             error=err,
+            atlas_digest=atlas_digest,
         )
 
     # -- identity ------------------------------------------------------------
@@ -262,6 +267,8 @@ class RewriteReceipt:
             out["degradation"] = self.degradation
         if self.error is not None:
             out["error"] = dict(self.error)
+        if self.atlas_digest is not None:
+            out["atlas_digest"] = self.atlas_digest
         return out
 
     @property
@@ -314,6 +321,7 @@ class RewriteReceipt:
                 degradation=data.get("degradation"),
                 outcome=data.get("outcome", "ok"),
                 error=data.get("error"),
+                atlas_digest=data.get("atlas_digest"),
                 unix_time=data.get("unix_time", 0.0),
             )
         except (KeyError, TypeError) as exc:
@@ -380,12 +388,18 @@ class ReceiptLedger:
         return self._store.append_raw(summary)
 
     def find(self, id_prefix):
-        """The unique receipt whose id starts with ``id_prefix``.
+        """The unique receipt whose id starts with ``id_prefix``; the
+        literal id ``latest`` resolves to the newest ledger entry.
 
         Raises :class:`LookupError` when none or several match — a
         truncated id is only an address while it is unambiguous.
         """
-        matches = [r for r in self.load()
+        receipts = self.load()
+        if id_prefix == "latest":
+            if not receipts:
+                raise LookupError("receipt ledger is empty; no latest")
+            return receipts[-1]
+        matches = [r for r in receipts
                    if r.receipt_id.startswith(id_prefix)]
         if not matches:
             raise LookupError(f"no receipt matches {id_prefix!r}")
@@ -536,6 +550,8 @@ def render_receipt(receipt):
             lines.append(f"    {entry.get('function', '?')}: "
                          f"{entry.get('requested', '?')} -> "
                          f"{entry.get('final', '?')}")
+    if r.atlas_digest:
+        lines.append(f"  atlas:     {_short(r.atlas_digest)}")
     if r.error:
         lines.append(f"  error:     {r.error.get('type', '?')}: "
                      f"{r.error.get('message', '')}")

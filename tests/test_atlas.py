@@ -1,0 +1,479 @@
+"""The rewrite atlas: per-function coverage & precision accounting.
+
+Covers the acceptance properties of the subsystem:
+
+* every successful rewrite with an atlas sink emits one
+  schema-versioned, content-addressed atlas whose rows account each
+  function's coverage split, precision class, and ladder verdict — and
+  a cold and a warm rewrite of the same input produce atlases that are
+  identical modulo timings;
+* the ladder-rung table the atlas carries (so ``obs`` stays core-free)
+  agrees with :func:`repro.core.modes.ladder_rung`;
+* the ledger speaks the shared obs store discipline and resolves
+  ``latest``; the receipt of the same rewrite links the atlas via
+  ``atlas_digest``;
+* ``repro atlas build/list/show/top/diff`` work end to end, with
+  ``diff`` exiting :data:`~repro.cli.EXIT_COVERAGE_REGRESSION` exactly
+  when coverage regressed;
+* Figure 2's mode distribution is reproducible from the atlas alone.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ArtifactCache, IncrementalRewriter
+from repro.core.modes import MODE_LADDER, ladder_rung
+from repro.obs import (
+    AtlasLedger,
+    Metrics,
+    ReceiptLedger,
+    RewriteAtlas,
+    diff_atlases,
+    render_atlas,
+    render_atlas_diff,
+    render_atlas_list,
+    render_atlas_top,
+)
+from repro.obs.atlas import ATLAS_SCHEMA, MODE_RUNGS, TOP_ORDERINGS
+from repro.util.errors import RewriteError
+from tests.conftest import compiled, small_program
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compiled(small_program("c"), "x86")
+
+
+def _rewrite_with_atlas(binary, sink, **kwargs):
+    rewriter = IncrementalRewriter(mode="jt", atlas_sink=sink,
+                                   workload="unit", **kwargs)
+    out, report = rewriter.rewrite(binary)
+    return out, report, rewriter
+
+
+class TestModeRungs:
+    def test_table_matches_the_core_ladder(self):
+        # obs/atlas.py mirrors the ladder as plain data so it never
+        # imports core; the mirror must not drift.
+        for mode, rung in MODE_RUNGS.items():
+            assert rung == ladder_rung(mode)
+        assert set(MODE_RUNGS) == {str(m) for m in MODE_LADDER} | {"skip"}
+
+
+class TestAtlasEmission:
+    def test_rewrite_emits_one_atlas(self, binary):
+        got = []
+        out, report, rewriter = _rewrite_with_atlas(
+            binary, got.append, metrics=Metrics())
+        assert len(got) == 1
+        atlas = got[0]
+        assert atlas is rewriter.last_atlas
+        assert atlas.workload == "unit"
+        assert atlas.arch == "x86" and atlas.mode == "jt"
+        assert atlas.input_digest and atlas.output_digest
+        assert atlas.input_digest != atlas.output_digest
+        roll = atlas.rollup
+        assert roll["functions"] == len(atlas.functions) > 0
+        assert sum(roll["mode_distribution"].values()) == \
+            roll["functions"]
+        assert sum(roll["precision_histogram"].values()) == \
+            roll["functions"]
+
+    def test_rows_account_coverage_and_shape(self, binary):
+        got = []
+        _rewrite_with_atlas(binary, got.append, metrics=Metrics())
+        atlas = got[0]
+        # Rows are sorted by entry and each splits its body soundly.
+        entries = [r["entry"] for r in atlas.functions]
+        assert entries == sorted(entries)
+        for r in atlas.functions:
+            assert r["blocks"] > 0 and r["cfg_bytes"] > 0
+            assert r["cfg_bytes"] + r["unreached_bytes"] == \
+                r["body_bytes"]
+            assert r["rung"] == MODE_RUNGS[r["mode"]]
+            assert r["precision"] in ("precise",) or r["precision"]
+        # Relocated blocks and trampolines landed somewhere.
+        assert atlas.rollup["relocated_blocks"] > 0
+        assert atlas.rollup["trampoline_bytes"] > 0
+
+    def test_no_sink_means_no_atlas(self, binary):
+        rewriter = IncrementalRewriter(mode="jt")
+        rewriter.rewrite(binary)
+        assert rewriter.last_atlas is None
+
+    def test_atlas_id_is_content_addressed(self, binary):
+        got = []
+        _rewrite_with_atlas(binary, got.append, metrics=Metrics())
+        atlas = got[0]
+        aid = atlas.atlas_id
+        assert len(aid) == 64
+        atlas.mode = "tampered"
+        assert atlas.atlas_id != aid
+
+    def test_cold_and_warm_atlases_identical_modulo_timings(
+            self, binary):
+        atlases = []
+        cache = ArtifactCache()
+        for _ in range(2):
+            _rewrite_with_atlas(binary, atlases.append,
+                                metrics=Metrics(), cache=cache)
+        cold, warm = atlases
+        assert cold.output_digest == warm.output_digest
+        assert cold.comparable_dict() == warm.comparable_dict()
+        # The warm run's provenance shows the cache paying off — the
+        # one legitimate cold-vs-warm difference, stripped by
+        # comparable_dict.
+        assert any("hit" in r["provenance"].values()
+                   for r in warm.functions)
+        diff = diff_atlases(cold, warm)
+        assert diff["identical"] is True
+        assert diff["same_input"] and diff["same_output"]
+        assert not diff["coverage_regressed"]
+
+    def test_failed_rewrite_emits_no_atlas(self):
+        from repro.toolchain.workloads import docker_like
+
+        binary = docker_like("x86")[1]
+        got = []
+        rewriter = IncrementalRewriter(mode="func-ptr", degrade=False,
+                                       atlas_sink=got.append)
+        with pytest.raises(RewriteError):
+            rewriter.rewrite(binary)
+        assert got == []
+        assert rewriter.last_atlas is None
+
+    def test_receipt_links_atlas_digest(self, binary):
+        atlases, receipts = [], []
+        _rewrite_with_atlas(binary, atlases.append, metrics=Metrics(),
+                            receipt_sink=receipts.append)
+        assert receipts[0].atlas_digest == atlases[0].atlas_id
+        # ...and the linkage survives the ledger round trip.
+        rebuilt = type(receipts[0]).from_dict(receipts[0].to_dict())
+        assert rebuilt.atlas_digest == atlases[0].atlas_id
+
+    def test_receipt_without_atlas_has_no_digest(self, binary):
+        receipts = []
+        rewriter = IncrementalRewriter(mode="jt", metrics=Metrics(),
+                                       receipt_sink=receipts.append)
+        rewriter.rewrite(binary)
+        assert receipts[0].atlas_digest is None
+        assert "atlas_digest" not in receipts[0].body_dict()
+
+
+class TestFig2Reproducibility:
+    def test_mode_distribution_matches_the_degradation_report(self):
+        # The acceptance property: Figure 2's mode distribution must be
+        # derivable from the atlas alone.  Rewrite the function-pointer
+        # workload in func-ptr mode (its analysis-resistant function
+        # degrades) and reconcile the atlas rollup against the
+        # rewriter's own degradation report.
+        from repro.toolchain.workloads import docker_like
+
+        binary = docker_like("x86")[1]
+        got = []
+        rewriter = IncrementalRewriter(mode="func-ptr",
+                                       atlas_sink=got.append,
+                                       metrics=Metrics())
+        _, report = rewriter.rewrite(binary)
+        atlas = got[0]
+        dist = dict(atlas.rollup["mode_distribution"])
+        degraded = report.degradation.by_final_mode()
+        assert degraded   # the workload exists to exercise the ladder
+        expected = dict(degraded)
+        expected["func-ptr"] = (expected.get("func-ptr", 0)
+                                + atlas.rollup["functions"]
+                                - sum(degraded.values()))
+        assert dist == expected
+        # Each degraded function's row carries the ladder's verdict.
+        for entry in report.degradation.entries:
+            row = atlas.row(entry.function)
+            assert row is not None
+            assert row["mode"] == str(entry.final)
+            assert row["rung"] == entry.rung
+            assert row["reason"] == entry.reason
+        # Imprecision is attributed, not just counted.
+        hist = atlas.rollup["precision_histogram"]
+        assert sum(n for p, n in hist.items() if p != "precise") > 0
+
+
+class TestSerialization:
+    def _atlas(self, binary):
+        got = []
+        _rewrite_with_atlas(binary, got.append, metrics=Metrics())
+        return got[0]
+
+    def test_round_trip_is_lossless(self, binary):
+        atlas = self._atlas(binary)
+        rebuilt = RewriteAtlas.from_dict(atlas.to_dict())
+        assert rebuilt.to_dict() == atlas.to_dict()
+        assert rebuilt.atlas_id == atlas.atlas_id
+
+    def test_schema_is_stamped(self, binary):
+        assert self._atlas(binary).to_dict()["schema"] == ATLAS_SCHEMA
+
+    def test_from_dict_rejects_foreign_and_corrupt(self):
+        with pytest.raises(ValueError):
+            RewriteAtlas.from_dict({"schema": "Alien/v9"})
+        with pytest.raises(ValueError):
+            RewriteAtlas.from_dict("not a dict")
+        with pytest.raises(ValueError):
+            RewriteAtlas.from_dict({"schema": ATLAS_SCHEMA})
+
+
+class TestLedger:
+    def _one(self, binary, path):
+        ledger = AtlasLedger(str(path))
+        _rewrite_with_atlas(binary, ledger, metrics=Metrics())
+        return ledger
+
+    def test_append_load_roundtrip(self, binary, tmp_path):
+        ledger = self._one(binary, tmp_path / "a.jsonl")
+        loaded = ledger.load()
+        assert len(loaded) == 1 and ledger.skipped == 0
+        raw = json.loads(
+            (tmp_path / "a.jsonl").read_text().splitlines()[0])
+        assert raw["schema"] == ATLAS_SCHEMA
+        assert loaded[0].atlas_id == raw["atlas_id"]
+
+    def test_corrupt_and_foreign_lines_skipped_but_preserved(
+            self, binary, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('not json\n{"schema": "Alien/v9", "x": 1}\n')
+        ledger = self._one(binary, path)
+        assert len(ledger.load()) == 1
+        assert ledger.skipped == 2
+        text = path.read_text()
+        assert "not json" in text and "Alien/v9" in text
+
+    def test_find_by_prefix_latest_and_ambiguity(self, binary,
+                                                 tmp_path):
+        ledger = self._one(binary, tmp_path / "a.jsonl")
+        first = ledger.load()[0]
+        assert ledger.find(first.atlas_id[:8]).atlas_id == \
+            first.atlas_id
+        assert ledger.find("latest").atlas_id == first.atlas_id
+        with pytest.raises(LookupError):
+            ledger.find("zzzz")
+        _rewrite_with_atlas(binary, ledger, metrics=Metrics(),
+                            cache=ArtifactCache())
+        # latest is the newest entry; an empty prefix is now ambiguous.
+        assert ledger.find("latest").atlas_id == \
+            ledger.load()[-1].atlas_id
+        with pytest.raises(LookupError):
+            ledger.find("")
+
+    def test_latest_on_empty_ledger_raises(self, tmp_path):
+        with pytest.raises(LookupError, match="latest"):
+            AtlasLedger(str(tmp_path / "none.jsonl")).find("latest")
+
+
+class TestDiff:
+    def _two(self, binary):
+        atlases = []
+        cache = ArtifactCache()
+        for _ in range(2):
+            _rewrite_with_atlas(binary, atlases.append,
+                                metrics=Metrics(), cache=cache)
+        return atlases
+
+    def test_lost_cfg_bytes_regress(self, binary):
+        a, b = self._two(binary)
+        victim = b.functions[0]
+        victim["cfg_bytes"] -= 1
+        victim["unreached_bytes"] += 1
+        diff = diff_atlases(a, b)
+        assert diff["identical"] is False
+        assert diff["coverage_regressed"] is True
+        assert any("cfg coverage" in r for r in diff["regressions"])
+        assert victim["function"] in diff["function_deltas"]
+        text = render_atlas_diff(a, b, diff)
+        assert "COVERAGE REGRESSED" in text
+
+    def test_falling_down_the_ladder_regresses(self, binary):
+        a, b = self._two(binary)
+        victim = b.functions[0]
+        victim["mode"], victim["rung"] = "skip", MODE_RUNGS["skip"]
+        diff = diff_atlases(a, b)
+        assert diff["coverage_regressed"] is True
+        assert any("down the ladder" in r for r in diff["regressions"])
+
+    def test_lost_function_regresses(self, binary):
+        a, b = self._two(binary)
+        lost = b.functions.pop()
+        diff = diff_atlases(a, b)
+        assert diff["coverage_regressed"] is True
+        assert diff["function_deltas"][lost["function"]] == \
+            {"only_in": "a"}
+
+    def test_extra_trampoline_bytes_are_overhead_not_regression(
+            self, binary):
+        a, b = self._two(binary)
+        b.functions[0]["trampoline_bytes"] += 64
+        diff = diff_atlases(a, b)
+        assert diff["identical"] is False
+        assert diff["coverage_regressed"] is False
+        text = render_atlas_diff(a, b, diff)
+        assert "changed, no coverage regression" in text
+
+
+class TestRendering:
+    def _atlas(self, binary):
+        got = []
+        _rewrite_with_atlas(binary, got.append, metrics=Metrics())
+        return got[0]
+
+    def test_render_atlas_rollups_and_rows(self, binary):
+        atlas = self._atlas(binary)
+        text = render_atlas(atlas)
+        assert atlas.short_id in text
+        assert "coverage:" in text and "modes:" in text
+        assert "precision:" in text and "overhead:" in text
+        for r in atlas.functions:
+            assert r["function"] in text
+
+    def test_render_atlas_limit_truncates(self, binary):
+        atlas = self._atlas(binary)
+        if len(atlas.functions) < 2:
+            pytest.skip("needs two rows")
+        text = render_atlas(atlas, limit=1)
+        assert "more row(s)" in text
+
+    def test_render_list_and_empty(self, binary):
+        atlas = self._atlas(binary)
+        listing = render_atlas_list([atlas])
+        assert "1 atlas(es)" in listing and atlas.short_id in listing
+        assert render_atlas_list([]) == "(empty ledger)"
+        assert "skipped" in render_atlas_list([atlas], skipped=2)
+
+    def test_render_top_orders_by_requested_field(self, binary):
+        atlas = self._atlas(binary)
+        for by, (field, label) in TOP_ORDERINGS.items():
+            text = render_atlas_top(atlas, by=by, limit=3)
+            assert label in text
+        ranked = render_atlas_top(atlas, by="trampoline-bytes",
+                                  limit=1)
+        heaviest = max(atlas.functions,
+                       key=lambda r: r["trampoline_bytes"])
+        assert heaviest["function"] in ranked
+
+
+class TestHarnessIntegration:
+    def test_evaluate_tool_attaches_atlas_on_request(self, binary,
+                                                     tmp_path):
+        from repro.eval import baseline_run, evaluate_tool
+
+        oracle, base_cycles = baseline_run(binary)
+        ledger = AtlasLedger(str(tmp_path / "a.jsonl"))
+        run = evaluate_tool("jt", binary, oracle, base_cycles,
+                            benchmark="unit", atlas_sink=ledger)
+        assert run.passed
+        assert run.atlas is not None
+        assert len(ledger.load()) == 1
+        assert ledger.load()[0].atlas_id == run.atlas.atlas_id
+
+    def test_atlas_is_opt_in(self, binary):
+        from repro.eval import baseline_run, evaluate_tool
+
+        oracle, base_cycles = baseline_run(binary)
+        run = evaluate_tool("jt", binary, oracle, base_cycles,
+                            benchmark="unit")
+        assert run.atlas is None
+
+
+class TestCli:
+    def test_rewrite_atlas_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["rewrite", "--workload", "619.lbm_s",
+                     "--atlas"]) == 0
+        out = capsys.readouterr().out
+        assert "atlas" in out
+        assert len(AtlasLedger(str(tmp_path / "ATLAS.jsonl")).load()) \
+            == 1
+
+    def test_atlas_build_show_top(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["atlas", "build", "--workload", "619.lbm_s"]) == 0
+        assert "function(s)" in capsys.readouterr().out
+        assert main(["atlas", "list"]) == 0
+        assert "1 atlas(es)" in capsys.readouterr().out
+        assert main(["atlas", "show", "latest"]) == 0
+        assert "coverage:" in capsys.readouterr().out
+        assert main(["atlas", "show", "latest", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == ATLAS_SCHEMA
+        assert main(["atlas", "top", "latest",
+                     "--by", "unreached"]) == 0
+        assert "unreached bytes" in capsys.readouterr().out
+
+    def test_atlas_build_requires_workload(self, tmp_path, capsys,
+                                           monkeypatch):
+        from repro.cli import EXIT_LOAD_ERROR, main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["atlas", "build"]) == EXIT_LOAD_ERROR
+        capsys.readouterr()
+
+    def test_atlas_diff_identical_modulo_timings(self, tmp_path,
+                                                 capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        for _ in range(2):
+            main(["rewrite", "--workload", "619.lbm_s", "--atlas",
+                  "--cache-dir", str(tmp_path / "cache")])
+        capsys.readouterr()
+        ids = [a.short_id for a in
+               AtlasLedger(str(tmp_path / "ATLAS.jsonl")).load()]
+        assert main(["atlas", "diff", *ids]) == 0
+        out = capsys.readouterr().out
+        assert "identical modulo timings" in out
+
+    def test_atlas_diff_coverage_regression_exit_code(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import EXIT_COVERAGE_REGRESSION, main
+
+        monkeypatch.chdir(tmp_path)
+        main(["rewrite", "--workload", "619.lbm_s", "--atlas"])
+        capsys.readouterr()
+        ledger = AtlasLedger(str(tmp_path / "ATLAS.jsonl"))
+        doctored = ledger.load()[0]
+        doctored.functions[0]["cfg_bytes"] -= 1
+        ledger.append(doctored)
+        first, second = [a.short_id for a in ledger.load()]
+        rc = main(["atlas", "diff", first, second])
+        out = capsys.readouterr().out
+        assert rc == EXIT_COVERAGE_REGRESSION
+        assert "COVERAGE REGRESSED" in out
+
+    def test_atlas_bad_ids_and_arity(self, tmp_path, capsys,
+                                     monkeypatch):
+        from repro.cli import EXIT_LOAD_ERROR, main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["atlas", "list"]) == 0      # empty ledger is ok
+        assert "(empty ledger)" in capsys.readouterr().out
+        assert main(["atlas", "show", "zzz"]) == EXIT_LOAD_ERROR
+        assert main(["atlas", "show", "latest"]) == EXIT_LOAD_ERROR
+        assert main(["atlas", "diff", "onlyone"]) == EXIT_LOAD_ERROR
+        capsys.readouterr()
+
+    def test_receipt_show_latest_json_links_atlas(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        main(["rewrite", "--workload", "619.lbm_s", "--receipt",
+              "--atlas"])
+        capsys.readouterr()
+        assert main(["receipt", "show", "latest", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        atlas = AtlasLedger(str(tmp_path / "ATLAS.jsonl")).load()[0]
+        assert doc["atlas_digest"] == atlas.atlas_id
+        # latest resolves on the receipt ledger too.
+        ledger = ReceiptLedger(str(tmp_path / "RECEIPTS.jsonl"))
+        assert ledger.find("latest").atlas_digest == atlas.atlas_id

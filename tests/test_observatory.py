@@ -18,11 +18,13 @@ from repro.obs import (
     render_sentinel_report,
     render_trend,
     stamp_record,
+    trend_document,
 )
 from repro.obs.observatory import (
     BENCH_RECORD_SCHEMA,
     HISTORY_SCHEMA,
     PERF_SAMPLE_SCHEMA,
+    TREND_SCHEMA,
     sample_metrics,
 )
 
@@ -291,11 +293,72 @@ class TestRendering:
     def test_trend_of_empty_history(self):
         assert render_trend([]) == "(empty history)"
 
+    def test_trend_of_single_sample(self):
+        out = render_trend([make_sample(total=0.1)])
+        assert "1 sample(s)" in out
+        assert "602.sgcc_s/x86/jt" in out
+        assert "abc1234" in out   # the sample's git sha is listed
+
+    def test_trend_window_larger_than_history(self):
+        samples = [make_sample(total=0.1), make_sample(total=0.2)]
+        out = render_trend(samples, window=100)
+        # Every sample renders once; the oversized window neither
+        # crashes nor pads phantom rows.
+        assert "2 sample(s)" in out
+        assert out.count("abc1234") == 2
+
+    def test_sentinel_report_of_empty_history_renders(self):
+        report = RegressionSentinel().check([])
+        out = render_sentinel_report(report)
+        assert out.startswith("perf check")
+        assert "INFO" in out
+
+    def test_sentinel_report_of_single_sample_renders(self):
+        report = RegressionSentinel().check([make_sample()])
+        out = render_sentinel_report(report)
+        assert "602.sgcc_s/x86/jt" in out
+        assert "insufficient history" in out
+        assert "INFO" in out
+
+    def test_sentinel_window_larger_than_history(self):
+        samples = [make_sample() for _ in range(4)]
+        report = RegressionSentinel(window=100).check(samples)
+        assert report.grade == "ok"
+        assert report.baseline_size == 3   # all of the history, once
+        assert "within thresholds" in render_sentinel_report(report)
+
     def test_stamp_record_adds_schema_and_fingerprint(self):
         stamped = stamp_record({"cycles": 5}, fingerprint=FP)
         assert stamped["schema"] == BENCH_RECORD_SCHEMA
         assert stamped["fingerprint"]["python"] == "3.11.0"
         assert stamped["cycles"] == 5
+
+
+class TestTrendDocument:
+    def test_groups_by_key_with_full_sample_rows(self):
+        samples = [make_sample(), make_sample(total=0.2),
+                   make_sample(mode="dir")]
+        doc = trend_document(samples)
+        assert doc["schema"] == TREND_SCHEMA
+        assert doc["samples"] == 3
+        assert [k["mode"] for k in doc["keys"]] == ["dir", "jt"]
+        jt = doc["keys"][1]
+        assert jt["samples"] == 2 and jt["fingerprints"] == 1
+        # Rows are the machine twin of the table: full sample dicts.
+        assert [r["total_seconds"] for r in jt["rows"]] == [0.1, 0.2]
+        assert all(r["schema"] == PERF_SAMPLE_SCHEMA
+                   for r in jt["rows"])
+
+    def test_window_truncates_rows_not_counts(self):
+        samples = [make_sample(total=t / 10) for t in range(1, 6)]
+        doc = trend_document(samples, window=2)
+        key = doc["keys"][0]
+        assert key["samples"] == 5
+        assert [r["total_seconds"] for r in key["rows"]] == [0.4, 0.5]
+
+    def test_empty_history(self):
+        doc = trend_document([])
+        assert doc["samples"] == 0 and doc["keys"] == []
 
 
 class TestPerfCli:
@@ -320,6 +383,15 @@ class TestPerfCli:
         assert main(["perf", "report", "--history", history]) == 0
         out = capsys.readouterr().out
         assert "619.lbm_s/x86/jt" in out
+
+        # --json emits the machine twin of the table, parseable whole.
+        assert main(["perf", "report", "--history", history,
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == TREND_SCHEMA
+        assert doc["samples"] == 2
+        assert doc["keys"][0]["workload"] == "619.lbm_s"
+        assert len(doc["keys"][0]["rows"]) == 2
 
         assert main(["perf", "check", "--history", history]) == 0
 
