@@ -434,7 +434,9 @@ def cmd_perf(args):
     ``BENCH_history.json``.  ``report`` prints the cross-run trend
     table.  ``check`` grades the newest sample against the rolling
     same-fingerprint baseline and exits ``EXIT_PERF_REGRESSION`` on a
-    ``fail``-grade finding (``--fail-on warn`` tightens the gate).
+    ``fail``-grade finding (``--fail-on warn`` tightens the gate;
+    ``--each`` grades the newest sample of every history key, so
+    emulator-throughput samples are gated alongside rewrite samples).
     """
     from repro.obs import (
         BenchHistory,
@@ -508,9 +510,22 @@ def cmd_perf(args):
         return 0
 
     sentinel = RegressionSentinel(window=args.window)
+    gate = SEVERITIES[SEVERITIES.index(args.fail_on):]
+    if args.each:
+        # Grade the newest sample of every workload/arch/mode key, so
+        # rewrite samples and emulator-throughput samples are gated
+        # together instead of only whichever was appended last.
+        from repro.obs import newest_per_key
+        failed = False
+        for candidate in newest_per_key(samples):
+            verdict = sentinel.check(samples, candidate)
+            label = "/".join(candidate.key)
+            print(f"--- {label}")
+            print(render_sentinel_report(verdict))
+            failed = failed or verdict.grade in gate
+        return EXIT_PERF_REGRESSION if failed else 0
     verdict = sentinel.check(samples)
     print(render_sentinel_report(verdict))
-    gate = SEVERITIES[SEVERITIES.index(args.fail_on):]
     return EXIT_PERF_REGRESSION if verdict.grade in gate else 0
 
 
@@ -667,7 +682,8 @@ def cmd_run(args):
     if "rewrite" in binary.metadata:
         runtime = RuntimeLibrary.from_binary(binary)
     flight = FlightRecorder() if args.flight_record else None
-    result = run_binary(binary, runtime_lib=runtime, flight=flight)
+    result = run_binary(binary, runtime_lib=runtime, flight=flight,
+                        engine=args.engine)
     for value in result.output:
         print(value)
     print(f"[exit {result.exit_code}, {result.icount:,} instructions, "
@@ -891,6 +907,10 @@ def build_parser():
     p.add_argument("--fail-on", default="fail", metavar="GRADE",
                    help="check: lowest severity that exits nonzero "
                         "(info, warn or fail; default fail)")
+    p.add_argument("--each", action="store_true",
+                   help="check: grade the newest sample of every "
+                        "workload/arch/mode key, not just the last "
+                        "appended one")
     p.add_argument("--json", action="store_true",
                    help="report: print the machine-readable trend "
                         "document instead of the table")
@@ -945,6 +965,11 @@ def build_parser():
     p.add_argument("--flight-record", metavar="FILE",
                    help="record the execution (block ring, trampoline "
                         "hits, RA translations) and write JSON to FILE")
+    p.add_argument("--engine", choices=["superblock", "step"],
+                   default="superblock",
+                   help="execution tier: fused superblocks (default) "
+                        "or the per-step closure loop; accounting is "
+                        "identical, only speed differs")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(

@@ -110,7 +110,10 @@ class _Side:
 
     def __init__(self, binary, runtime_lib, bias, step_budget, ring,
                  costs):
-        self.machine = machine_for(binary, costs=costs)
+        # Lockstep forensics single-step via ``cpu.step()``, which
+        # always runs the per-step tier; pin the engine so nothing
+        # about this machine ever dispatches fused superblocks.
+        self.machine = machine_for(binary, costs=costs, engine="step")
         self.image = self.machine.load(binary, bias)
         if runtime_lib is not None:
             self.machine.install_runtime(runtime_lib, self.image)

@@ -29,7 +29,13 @@ from dataclasses import dataclass
 
 @dataclass
 class CostModel:
-    """Cycle costs for the emulated machine."""
+    """Cycle costs for the emulated machine.
+
+    :attr:`insn` is charged once per retired instruction by both
+    execution tiers of :class:`repro.machine.cpu.CPU` (superblocks
+    pre-multiply it into their per-block deltas); the default of 1
+    keeps historical cycle counts unchanged.
+    """
 
     insn: int = 1
     taken_branch: int = 1

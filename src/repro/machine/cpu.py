@@ -6,10 +6,36 @@ original ``.text`` is filled with illegal bytes, so any control flow that
 the rewriter failed to intercept faults immediately instead of silently
 executing stale code.
 
-Each decoded instruction is compiled once into a Python closure keyed by
-address; repeated execution (loops) runs the closure without re-decoding.
-Costs follow :class:`repro.machine.costs.CostModel`.
+Execution is tiered:
+
+* **per-step tier** — each decoded instruction is compiled once into a
+  Python closure keyed by address; repeated execution (loops) runs the
+  closure without re-decoding.  :meth:`CPU.step` (lockstep/differential
+  use) always runs here, and :meth:`CPU.run` falls back to it when a
+  :class:`~repro.obs.flight.FlightRecorder` is attached (block events
+  must be observed at every control transfer) or when ``engine="step"``
+  is selected.
+* **superblock tier** — the default for :meth:`CPU.run`.  At first
+  execution of an address, the run of instructions from that address up
+  to the next control transfer (or watch-region boundary, or
+  :data:`SUPERBLOCK_CAP`) is fused into one generated block function:
+  straight-line register/memory operations are inlined as Python source
+  and everything else calls its per-step closure.  A block is dispatched
+  once per entry with pre-computed instruction/cycle deltas, so
+  straight-line runs skip per-step bookkeeping entirely.
+
+Accounting stays *exact* across tiers: cycle costs follow
+:class:`repro.machine.costs.CostModel` (including :attr:`CostModel.insn`
+per executed instruction), i-cache misses are modeled per line actually
+crossed inside a block, watch-region transitions are counted once per
+(region-homogeneous) block, and faults — step limit, unmapped access,
+illegal instruction, kernel errors — leave the same ``icount``,
+``cycles`` and ``pc`` as per-step execution, down to the instruction.
 """
+
+import itertools
+import re
+import struct
 
 from repro.isa.insn import LOAD_SIZES, SIGNED_LOADS, STORE_SIZES
 from repro.isa.registers import LR, NUM_REGS, SP
@@ -23,9 +49,24 @@ from repro.util.errors import (
 
 _MASK = (1 << 64) - 1
 _SIGN = 1 << 63
+#: The 64-bit mask as it appears in generated superblock source.
+_MASK_SRC = "0xffffffffffffffff"
 
 #: Default dynamic-instruction budget per run.
 DEFAULT_STEP_LIMIT = 80_000_000
+
+#: Upper bound on instructions fused into one superblock.  A straight
+#: line longer than this is split; exactness is unaffected, because the
+#: follow-on block resumes accounting at the split point.
+SUPERBLOCK_CAP = 128
+
+#: Mnemonics that end a superblock: anything whose closure can move the
+#: pc non-sequentially or enter the kernel (which may redirect the pc,
+#: stop the machine, or raise).
+_TRANSFERS = frozenset({
+    "jmp", "jmp.s", "beq", "bne", "blt", "bge", "bgt", "ble",
+    "jmpr", "call", "callr", "ret", "trap", "syscall",
+})
 
 _ARITH = {
     "add": lambda a, b: a + b,
@@ -38,6 +79,10 @@ _ARITH = {
     "shr": lambda a, b: a >> (b & 63),
 }
 
+#: Straight-line arithmetic fused as infix source inside superblocks.
+_ARITH_SRC = {"add": "+", "sub": "-", "mul": "*", "and": "&",
+              "or": "|", "xor": "^"}
+
 _COND = {
     "beq": lambda a, b: a == b,
     "bne": lambda a, b: a != b,
@@ -47,17 +92,162 @@ _COND = {
     "ble": lambda a, b: a <= b,
 }
 
+#: Comparison operators as they appear in generated loop-block source.
+_COND_SRC = {"beq": "==", "bne": "!=", "blt": "<", "bge": ">=",
+             "bgt": ">", "ble": "<="}
+
+#: Unique filename suffix per generated superblock (fault forensics
+#: match tracebacks against the block's filename).
+_block_ids = itertools.count()
+
+#: Guest-register references in generated superblock source, promoted
+#: to frame locals (``r[3]`` -> ``v3``) by the allocation pass.
+_REG_REF = re.compile(r"\br\[(\d+)\]")
+#: A per-step-closure call statement in generated source (these lines
+#: operate on the shared register list, not the frame locals).
+_CLOSURE_CALL = re.compile(r"^c\d+\(\)$")
+
+#: Pre-compiled memory accessors bound into generated superblocks:
+#: ``u{size}``/``g{size}`` unpack unsigned/signed little-endian
+#: integers, ``p{size}`` packs them — measurably faster than slicing
+#: plus ``int.from_bytes``/``to_bytes`` on the hot path.
+_MEM_OPS = {}
+for _size, _u, _g in ((1, "B", "b"), (2, "H", "h"),
+                      (4, "I", "i"), (8, "Q", "q")):
+    _MEM_OPS[f"u{_size}"] = struct.Struct("<" + _u).unpack_from
+    _MEM_OPS[f"g{_size}"] = struct.Struct("<" + _g).unpack_from
+    _MEM_OPS[f"p{_size}"] = struct.Struct("<" + _u).pack_into
+del _size, _u, _g
+
+
+def _inline_src(insn, msize):
+    """Python source lines for one straight-line instruction inside a
+    superblock, or ``None`` when it must run via its per-step closure.
+
+    The emitted source mirrors the per-step closures statement for
+    statement — including fault messages — so the two tiers are
+    byte-identical in outputs and in every counter.  Names bound in the
+    generated scope: ``s`` (the CPU), ``r`` (the register file), ``d``
+    (memory bytes), ``UF`` (:class:`UnmappedMemoryFault`), and the
+    :data:`_MEM_OPS` accessors (``u8``/``g4``/``p2``...).  Inlined operations deliberately do
+    *not* update ``s.pc``; the block seals the pc once at its end, and
+    fault recovery (:meth:`CPU._fault_index`) restores the exact pc of
+    a faulting instruction from the block's line map.
+    """
+    m = insn.mnemonic
+    ops = insn.operands
+    addr = insn.addr
+    M = _MASK_SRC
+
+    if m == "nop":
+        return []
+    if m == "mov":
+        rd, ra = ops
+        return [f"r[{rd}] = r[{ra}]"]
+    if m == "movi":
+        rd, imm = ops
+        return [f"r[{rd}] = {imm & _MASK}"]
+    if m == "lis":
+        rd, imm = ops
+        return [f"r[{rd}] = {(imm << 16) & _MASK}"]
+    if m == "addis":
+        rd, ra, imm = ops
+        return [f"r[{rd}] = (r[{ra}] + ({imm << 16})) & {M}"]
+    if m == "adrp":
+        rd, imm = ops
+        return [f"r[{rd}] = {((addr & ~0xFFF) + (imm << 12)) & _MASK}"]
+    if m == "addi":
+        rd, ra, imm = ops
+        return [f"r[{rd}] = (r[{ra}] + ({imm})) & {M}"]
+    if m in _ARITH_SRC:
+        rd, ra, rb = ops
+        return [f"r[{rd}] = (r[{ra}] {_ARITH_SRC[m]} r[{rb}]) & {M}"]
+    if m == "shl":
+        rd, ra, rb = ops
+        return [f"r[{rd}] = (r[{ra}] << (r[{rb}] & 63)) & {M}"]
+    if m == "shr":
+        rd, ra, rb = ops
+        return [f"r[{rd}] = (r[{ra}] >> (r[{rb}] & 63)) & {M}"]
+    if m == "shli":
+        rd, ra, imm = ops
+        return [f"r[{rd}] = (r[{ra}] << {imm & 63}) & {M}"]
+    if m == "shri":
+        rd, ra, imm = ops
+        return [f"r[{rd}] = r[{ra}] >> {imm & 63}"]
+    if m == "inc":
+        (rd,) = ops
+        return [f"r[{rd}] = (r[{rd}] + 1) & {M}"]
+    if m in LOAD_SIZES and not m.startswith("ldpc"):
+        rd, mem_op = ops
+        size = LOAD_SIZES[m]
+        lines = [
+            f"a = (r[{mem_op.base}] + ({mem_op.disp})) & {M}",
+            f'if a + {size} > {msize}: raise UF(f"load at {{a:#x}} '
+            f'(pc={addr:#x})", pc={addr})',
+        ]
+        if m in SIGNED_LOADS:
+            # A signed unpack plus the 64-bit mask is the same value
+            # the per-step closure's manual sign extension produces.
+            lines.append(f"r[{rd}] = g{size}(d, a)[0] & {M}")
+        else:
+            lines.append(f"r[{rd}] = u{size}(d, a)[0]")
+        return lines
+    if m in STORE_SIZES:
+        rs, mem_op = ops
+        size = STORE_SIZES[m]
+        vmask = (1 << (size * 8)) - 1
+        value = f"r[{rs}]" if size == 8 else f"r[{rs}] & {vmask}"
+        return [
+            f"a = (r[{mem_op.base}] + ({mem_op.disp})) & {M}",
+            f'if a + {size} > {msize}: raise UF(f"store at {{a:#x}} '
+            f'(pc={addr:#x})", pc={addr})',
+            f"p{size}(d, a, {value})",
+        ]
+    if m.startswith("ldpc"):
+        rd, disp = ops
+        size = LOAD_SIZES[m]
+        a = addr + disp
+        if a < 0 or a + size > msize:
+            return None   # always-faulting: keep the closure's raise
+        return [f"r[{rd}] = u{size}(d, {a})[0]"]
+    if m == "leapc":
+        rd, disp = ops
+        return [f"r[{rd}] = {(addr + disp) & _MASK}"]
+    if m == "push":
+        (rs,) = ops
+        return [
+            f"a = (r[{SP}] - 8) & {M}",
+            f'if a + 8 > {msize}: '
+            f'raise UF(f"push at {{a:#x}}", pc={addr})',
+            f"p8(d, a, r[{rs}])",
+            f"r[{SP}] = a",
+        ]
+    if m == "pop":
+        (rd,) = ops
+        return [
+            f"a = r[{SP}]",
+            f'if a + 8 > {msize}: '
+            f'raise UF(f"pop at {{a:#x}}", pc={addr})',
+            f"r[{rd}] = u8(d, a)[0]",
+            f"r[{SP}] = (a + 8) & {M}",
+        ]
+    return None
+
 
 class CPU:
     """One hardware thread executing from a :class:`Memory`."""
 
     def __init__(self, memory, spec, kernel, costs=None,
-                 step_limit=DEFAULT_STEP_LIMIT):
+                 step_limit=DEFAULT_STEP_LIMIT, engine="superblock"):
         self.memory = memory
         self.spec = spec
         self.kernel = kernel
         self.costs = costs or CostModel.default()
         self.step_limit = step_limit
+        #: Execution engine for :meth:`run`: ``"superblock"`` (default)
+        #: or ``"step"`` (always per-instruction).  A FlightRecorder
+        #: forces the per-step tier regardless of this setting.
+        self.engine = engine
 
         self.regs = [0] * NUM_REGS
         self.pc = 0
@@ -71,29 +261,47 @@ class CPU:
         self.icache_misses = 0
         self.transitions = 0
 
-        #: Optional pair of (lo, hi) address regions; transitions between
-        #: them are counted (used to measure .text <-> .instr bouncing).
-        self.watch_regions = None
-
         #: Optional :class:`repro.obs.flight.FlightRecorder`; None keeps
         #: the hot loop at a single identity test per step.
         self.flight = None
 
         self._compiled = {}
         self._ends = {}
+        #: decoded Instruction per address (feeds the superblock fuser)
+        self._insns = {}
+        #: superblock start address -> block record (see _build_block)
+        self._blocks = {}
+        self._watch_regions = None
 
     # -- public API --------------------------------------------------------
 
+    @property
+    def watch_regions(self):
+        """Optional pair of (lo, hi) address regions; transitions between
+        them are counted (used to measure .text <-> .instr bouncing)."""
+        return self._watch_regions
+
+    @watch_regions.setter
+    def watch_regions(self, regions):
+        # Superblocks are fused with watch-region boundaries baked in,
+        # so changing the regions invalidates every block.
+        self._watch_regions = regions
+        self._blocks.clear()
+
     def invalidate_code(self):
-        """Drop compiled closures (call after writing to code memory)."""
+        """Drop compiled closures and fused superblocks (call after
+        writing to code memory)."""
         self._compiled.clear()
         self._ends.clear()
+        self._insns.clear()
+        self._blocks.clear()
 
     def step(self):
         """Execute exactly one instruction (lockstep/differential use).
 
-        Skips the run loop's icache/watch/flight accounting; callers own
-        whatever bookkeeping they need.
+        Always runs the per-step tier and skips the run loop's
+        icache/watch/flight accounting; callers own whatever bookkeeping
+        they need.
         """
         pc = self.pc
         fn = self._compiled.get(pc)
@@ -102,16 +310,25 @@ class CPU:
             self._compiled[pc] = fn
         fn()
         self.icount += 1
-        self.cycles += 1
+        self.cycles += self.costs.insn
 
     def run(self, entry=None, step_limit=None):
-        """Execute until an exit syscall; returns the exit code."""
+        """Execute until an exit syscall; returns the exit code.
+
+        Dispatches fused superblocks unless a flight recorder is
+        attached or ``engine="step"`` was selected; the last strides of
+        a run approaching its step limit always finish per-step, so the
+        limit fault lands on the exact instruction.  ``icount`` is
+        committed in a ``finally`` so faulting runs report exactly the
+        instructions that completed.
+        """
         if entry is not None:
             self.pc = entry
         limit = step_limit if step_limit is not None else self.step_limit
         compiled = self._compiled
         compile_one = self._compile
         costs = self.costs
+        insn_cost = costs.insn
         icache_on = costs.icache_enabled
         if icache_on:
             line_bits = costs.icache_line_bits
@@ -119,7 +336,7 @@ class CPU:
             miss_cost = costs.icache_miss
             tags = [-1] * nlines
             mask = nlines - 1
-        watch = self.watch_regions
+        watch = self._watch_regions
         if watch:
             (a_lo, a_hi), (b_lo, b_hi) = watch
             prev_region = -1
@@ -130,48 +347,121 @@ class CPU:
             flight.record_block(self.pc, self.cycles)
         self.running = True
         steps = 0
-        while self.running:
-            pc = self.pc
-            fn = compiled.get(pc)
-            if fn is None:
-                fn = compile_one(pc)
-                compiled[pc] = fn
-            if icache_on:
-                line = pc >> line_bits
-                idx = line & mask
-                if tags[idx] != line:
-                    tags[idx] = line
-                    self.cycles += miss_cost
-                    self.icache_misses += 1
-            if watch:
-                if a_lo <= pc < a_hi:
-                    region = 0
-                elif b_lo <= pc < b_hi:
-                    region = 1
+        try:
+            if flight is None and self.engine == "superblock":
+                blocks = self._blocks
+                build = self._build_block
+                if icache_on:
+                    # Segmented dispatch: one tag check per i-cache
+                    # line actually crossed inside the block, charged
+                    # before its instructions run — exactly the
+                    # per-step order.
+                    while self.running:
+                        b = blocks.get(self.pc)
+                        if b is None:
+                            b = build(self.pc)
+                        n = b[1]
+                        if steps + n >= limit:
+                            break
+                        if watch:
+                            region = b[2]
+                            if region is not None \
+                                    and region != prev_region:
+                                if prev_region != -1:
+                                    self.transitions += 1
+                                prev_region = region
+                        for line, idx, seg_fns, seg_n, seg_cyc in b[3]:
+                            if tags[idx] != line:
+                                tags[idx] = line
+                                self.cycles += miss_cost
+                                self.icache_misses += 1
+                            k = 0
+                            try:
+                                for fn in seg_fns:
+                                    fn()
+                                    k += 1
+                            except BaseException:
+                                steps += k
+                                self.cycles += k * insn_cost
+                                raise
+                            steps += seg_n
+                            self.cycles += seg_cyc
                 else:
-                    region = prev_region
-                if region != prev_region:
-                    if prev_region != -1:
-                        self.transitions += 1
-                    prev_region = region
-            fn()
-            steps += 1
-            self.cycles += 1
-            if flight is not None:
-                if pc in fsites:
-                    flight.tramp_hit(pc)
-                npc = self.pc
-                if npc != ends[pc]:
-                    flight.record_block(npc, self.cycles)
-            if steps >= limit:
-                raise MachineFault(
-                    f"step limit of {limit} exceeded at pc={self.pc:#x}",
-                    pc=self.pc,
-                )
-        self.icount += steps
+                    while self.running:
+                        b = blocks.get(self.pc)
+                        if b is None:
+                            b = build(self.pc)
+                        n = b[1]
+                        if steps + n >= limit:
+                            break
+                        if watch:
+                            region = b[2]
+                            if region is not None \
+                                    and region != prev_region:
+                                if prev_region != -1:
+                                    self.transitions += 1
+                                prev_region = region
+                        try:
+                            # Fused blocks take the remaining step
+                            # budget (loop blocks iterate internally
+                            # until it nears exhaustion) and return
+                            # the number of instructions executed.
+                            done = b[0](limit - steps)
+                        except BaseException as exc:
+                            done = self._fault_index(b, exc)
+                            steps += done
+                            self.cycles += done * insn_cost
+                            raise
+                        steps += done
+                        self.cycles += done * insn_cost
+            # Per-step tier: flight recording, engine="step", and the
+            # final strides of a run approaching its step limit.
+            while self.running:
+                pc = self.pc
+                fn = compiled.get(pc)
+                if fn is None:
+                    fn = compile_one(pc)
+                    compiled[pc] = fn
+                if icache_on:
+                    line = pc >> line_bits
+                    idx = line & mask
+                    if tags[idx] != line:
+                        tags[idx] = line
+                        self.cycles += miss_cost
+                        self.icache_misses += 1
+                if watch:
+                    if a_lo <= pc < a_hi:
+                        region = 0
+                    elif b_lo <= pc < b_hi:
+                        region = 1
+                    else:
+                        region = prev_region
+                    if region != prev_region:
+                        if prev_region != -1:
+                            self.transitions += 1
+                        prev_region = region
+                fn()
+                steps += 1
+                self.cycles += insn_cost
+                if flight is not None:
+                    if pc in fsites:
+                        flight.tramp_hit(pc)
+                    npc = self.pc
+                    if npc != ends[pc]:
+                        flight.record_block(npc, self.cycles)
+                if steps >= limit:
+                    raise MachineFault(
+                        f"step limit of {limit} exceeded "
+                        f"at pc={self.pc:#x}",
+                        pc=self.pc,
+                    )
+        finally:
+            # Committed even when a fault propagates, so failed runs
+            # report exactly the instructions that completed.
+            self.icount += steps
         return self.exit_code
 
-    # -- closure compiler -----------------------------------------------------
+    # -- closure compiler --------------------------------------------------
 
     def _compile(self, addr):
         data = self.memory.data
@@ -185,7 +475,565 @@ class CPU:
                 f"illegal instruction at {addr:#x}: {exc}", pc=addr
             )
         self._ends[addr] = addr + insn.length
+        self._insns[addr] = insn
         return self._make_closure(insn, data, msize)
+
+    # -- superblock fuser --------------------------------------------------
+
+    def _build_block(self, addr):
+        """Fuse the execution trace starting at ``addr`` into a
+        superblock.
+
+        Trace formation (the default): decoding follows the
+        *fall-through* of conditional branches (emitted as side exits)
+        and follows unconditional ``jmp``s (their taken-branch cost is
+        inlined), so a whole loop — head test, body, backward latch —
+        fuses into one block.  A branch or jmp targeting the trace's
+        own start closes it into a *loop trace* that iterates inside
+        the generated function.  Traces end at indirect/kernel
+        transfers (``jmpr``/``call``/``callr``/``ret``/``trap``/
+        ``syscall``), at a jmp to an address already in the trace, at
+        :data:`SUPERBLOCK_CAP`, at watch-region boundaries, and at
+        unfetchable addresses.
+
+        Under an i-cache cost model the trace is instead cut at *any*
+        control transfer, because the segmented dispatch below must
+        see a strictly sequential closure list to charge misses in
+        per-step order.
+
+        The block record is a tuple ``(fn, n, region, segs, addrs,
+        linemap, filename)``:
+
+        * ``fn`` — the fused block function; called with the remaining
+          step budget, returns the number of instructions executed;
+        * ``n`` — instructions per full pass through the trace (early
+          side exits return less; loop traces return accumulated
+          totals);
+        * ``region`` — the watch-region class shared by every
+          instruction: traces are cut at watch-region boundaries, so a
+          single entry check reproduces the per-step transition count;
+        * ``segs`` — per-i-cache-line segments ``(line, set_index,
+          closures, n, cycles)``, built only under an i-cache cost
+          model, so misses are charged per line actually crossed;
+        * ``addrs``/``linemap``/``filename`` — fault forensics: the
+          instruction addresses plus the generated-source line ->
+          ``(index, restore_pc)`` map that reconstructs exact partial
+          accounting when a block faults mid-flight;
+        * ``alloc``/``nowb`` — the guest registers promoted to frame
+          locals by :meth:`_fuse` and the closure-call lines where a
+          fault must not write those locals back.
+        """
+        compiled = self._compiled
+        decoded = self._insns
+        watch = self._watch_regions
+        if watch:
+            (a_lo, a_hi), (b_lo, b_hi) = watch
+        trace = not self.costs.icache_enabled
+        data = self.memory.data
+        msize = self.memory.size
+        regs = self.regs
+        pushes = self.spec.call_pushes_return_address
+        items = []      # (kind, insn, extra)
+        addrs = []
+        callstack = []  # return addresses of calls followed in-trace
+        # Static effects on the return-address machinery since trace
+        # start, used to predict where an unmatched ``ret`` lands:
+        # the net SP displacement (while statically known) and whether
+        # the link register has been overwritten.
+        sp_delta = 0
+        sp_known = True
+        lr_dirty = False
+        region = None
+        a = addr
+        while True:
+            fn = compiled.get(a)
+            if fn is None:
+                try:
+                    fn = self._compile(a)
+                except MachineFault:
+                    if not items:
+                        raise   # faulting first fetch: as per-step
+                    break       # seal here; the next dispatch faults
+                compiled[a] = fn
+            insn = decoded[a]
+            if watch:
+                r = (0 if a_lo <= a < a_hi
+                     else 1 if b_lo <= a < b_hi else None)
+                if not items:
+                    region = r
+                elif r != region:
+                    break       # watch-region boundary ends the trace
+            mn = insn.mnemonic
+            addrs.append(a)
+            if mn in _COND and trace:
+                target = a + insn.operands[2]
+                if target == addr:
+                    items.append(("condclose", insn, None))
+                    break
+                items.append(("cond", insn, None))
+                a += insn.length
+            elif mn in ("jmp", "jmp.s") and trace:
+                target = a + insn.operands[0]
+                if target == addr:
+                    items.append(("jmpclose", insn, None))
+                    break
+                items.append(("jmp", insn, None))
+                a = target
+            elif mn == "call" and trace:
+                # Direct call: the return address is a compile-time
+                # constant, so the push/link inlines and the trace
+                # continues into the callee.
+                items.append(("call", insn, None))
+                callstack.append(a + insn.length)
+                if pushes:
+                    sp_delta -= 8
+                else:
+                    lr_dirty = True
+                a = a + insn.operands[0]
+            elif mn == "callr" and trace \
+                    and regs[insn.operands[0]] < msize:
+                # Indirect call: speculate on the target the register
+                # holds right now (block building happens mid-run, at
+                # first execution); the generated code re-reads the
+                # register and exits the trace if it disagrees.
+                observed = regs[insn.operands[0]]
+                items.append(("callr", insn, observed))
+                callstack.append(a + insn.length)
+                if pushes:
+                    sp_delta -= 8
+                else:
+                    lr_dirty = True
+                a = observed
+            elif mn == "jmpr" and trace \
+                    and regs[insn.operands[0]] < msize:
+                observed = regs[insn.operands[0]]
+                items.append(("jmpr", insn, observed))
+                a = observed
+            elif mn == "ret" and trace \
+                    and (expected := self._predict_return(
+                        callstack, sp_delta, sp_known,
+                        lr_dirty)) is not None:
+                # Speculate the return lands at the matching call's
+                # continuation (or, for a trace entered at a callee,
+                # at the return address the stack/link register holds
+                # now); the generated code pops the real return
+                # address and exits the trace if it disagrees.
+                items.append(("ret", insn, expected))
+                if pushes:
+                    sp_delta += 8
+                a = expected
+            elif mn in _TRANSFERS:
+                items.append(("end", insn, fn))
+                break
+            else:
+                if mn == "push":
+                    sp_delta -= 8
+                elif mn == "pop":
+                    sp_delta += 8
+                if mn != "push" and insn.operands \
+                        and isinstance(insn.operands[0], int):
+                    # operands[0] is the destination for every
+                    # register-writing straight-line insn (for stores
+                    # it is a source — flagging those too merely costs
+                    # a speculation opportunity).
+                    if insn.operands[0] == SP:
+                        sp_known = False
+                    if insn.operands[0] == LR:
+                        lr_dirty = True
+                items.append(("s", insn, fn))
+                a += insn.length
+            if len(items) >= SUPERBLOCK_CAP:
+                break
+        n = len(items)
+        if self.costs.icache_enabled:
+            # Segment the block by i-cache line, grouping consecutive
+            # runs of equal lines: the first instruction of a run can
+            # miss, the rest are guaranteed hits (nothing else touches
+            # the set in between), which is exactly the per-step check
+            # sequence.
+            insn_cost = self.costs.insn
+            line_bits = self.costs.icache_line_bits
+            mask = self.costs.icache_lines - 1
+            groups = []
+            for (_, _, fn), ia in zip(items, addrs):
+                line = ia >> line_bits
+                if groups and groups[-1][0] == line:
+                    groups[-1][2].append(fn)
+                else:
+                    groups.append([line, line & mask, [fn]])
+            segs = tuple(
+                (line, idx, tuple(seg), len(seg), len(seg) * insn_cost)
+                for line, idx, seg in groups
+            )
+            fused = linemap = filename = None
+            alloc, nowb = (), frozenset()
+        else:
+            segs = None
+            fused, linemap, filename, alloc, nowb = \
+                self._fuse(items, addrs)
+        block = (fused, n, region, segs, tuple(addrs),
+                 linemap, filename, alloc, nowb)
+        self._blocks[addr] = block
+        return block
+
+    def _predict_return(self, callstack, sp_delta, sp_known, lr_dirty):
+        """Where the next ``ret`` most plausibly lands, or ``None``.
+
+        A call followed earlier in the trace pins the answer (and is
+        popped off ``callstack`` here).  Otherwise — a trace entered at
+        a callee — the prediction reads the return-address slot the
+        machine holds *right now*: the stack slot at the statically
+        tracked SP displacement, or the link register if untouched.
+        Mispredictions are harmless: the generated guard compares
+        against the real popped address and exits the trace with it.
+        """
+        if callstack:
+            return callstack.pop()
+        if self.spec.call_pushes_return_address:
+            if not sp_known:
+                return None
+            slot = (self.regs[SP] + sp_delta) & _MASK
+            if slot + 8 > self.memory.size:
+                return None
+            p = int.from_bytes(self.memory.data[slot:slot + 8],
+                               "little")
+        else:
+            if lr_dirty:
+                return None
+            p = self.regs[LR]
+        return p if p < self.memory.size else None
+
+    def _fuse(self, items, addrs):
+        """Generate the fused block function for a trace.
+
+        Inlinable instructions become Python source; the rest call
+        their per-step closures (bound as default-argument locals).
+        The generated function takes the remaining step budget and
+        returns the number of instructions it executed.  Two shapes:
+
+        * a *plain trace* runs each instruction at most once.
+          Conditional branches become side exits (taken path sets the
+          pc, accounts the branch, and returns its instruction count);
+          followed jmps inline their taken-branch accounting; the end
+          either calls a terminator closure or seals ``s.pc`` once.
+        * a *loop trace* — closed by a branch or ``jmp`` back to the
+          trace's own start — wraps the same body in ``while True``,
+          deferring taken-branch accounting to frame-local counters
+          (``done`` instructions retired in finished passes, ``t``
+          taken branches), flushed at every exit.  Hot loops re-enter
+          the generated ``while`` without touching the dispatch loop
+          at all, which is where superblocks beat per-step execution
+          by a wide margin.  The closing branch stops iterating when
+          one more pass would reach the step budget.
+
+        Returns ``(function, linemap, filename, alloc, nowb)``.
+        ``linemap`` maps generated line numbers to ``(index,
+        restore_pc)``: ``index`` is the number of instructions
+        completed *within the current pass* when that line raises
+        (total = frame-local ``done`` + ``index``), and ``restore_pc``
+        marks lines where the faulting instruction's pc must be
+        re-established (kernel-entering closures and post-branch
+        bookkeeping manage ``s.pc`` themselves).  ``alloc`` lists the
+        guest registers promoted to frame locals and ``nowb`` the line
+        numbers of closure calls, where fault recovery must *not*
+        write the (stale) locals back over the register file.
+        """
+        msize = self.memory.size
+        costs = self.costs
+        tb_cost = costs.taken_branch
+        call_cost = costs.call
+        ret_cost = costs.ret
+        pushes = self.spec.call_pushes_return_address
+        names = [("s", self), ("r", self.regs),
+                 ("d", self.memory.data),
+                 ("UF", UnmappedMemoryFault)]
+        names.extend(_MEM_OPS.items())
+        n = len(items)
+        last_kind = items[-1][0]
+        loop = last_kind in ("condclose", "jmpclose")
+        start = addrs[0]
+        kinds = {kind for kind, _, _ in items}
+        # Deferred cost counters for loop traces: taken branches (t),
+        # calls (u), returns (w); flushed at every exit and on fault.
+        counters = []
+        if loop:
+            if kinds & {"cond", "jmp", "jmpr", "condclose",
+                        "jmpclose"}:
+                counters.append(("t", tb_cost))
+            if kinds & {"call", "callr"}:
+                counters.append(("u", call_cost))
+            if "ret" in kinds:
+                counters.append(("w", ret_cost))
+        flush_lines = []
+        if counters:
+            flush_lines.append(
+                "s.cycles += "
+                + " + ".join(f"{c} * {cost}" for c, cost in counters))
+            flush_lines.append(
+                "s.taken_branches += "
+                + " + ".join(c for c, _ in counters))
+
+        body = []   # (source line, linemap entry or None)
+
+        def emit(indent, text, entry=None):
+            body.append(("    " * indent + text, entry))
+
+        def emit_flush(depth, entry):
+            for text in flush_lines:
+                emit(depth, text, entry)
+
+        def emit_compare(depth, insn, k):
+            ra, rb, _ = insn.operands
+            emit(depth, f"x = r[{ra}]", (k, True))
+            emit(depth, f"y = r[{rb}]", (k, True))
+            emit(depth, f"if x >= {_SIGN}: x -= {1 << 64}", (k, True))
+            emit(depth, f"if y >= {_SIGN}: y -= {1 << 64}", (k, True))
+            emit(depth, f"if x {_COND_SRC[insn.mnemonic]} y:",
+                 (k, True))
+
+        depth = 2 if loop else 1
+        if loop:
+            emit(1, "done = 0")
+            for c, _ in counters:
+                emit(1, f"{c} = 0")
+            emit(1, "while True:")
+        for k, (kind, insn, extra) in enumerate(items):
+            if kind == "s":
+                lines = _inline_src(insn, msize)
+                if lines is None:
+                    names.append((f"c{k}", extra))
+                    emit(depth, f"c{k}()", (k, True))
+                else:
+                    for line in lines:
+                        emit(depth, line, (k, True))
+            elif kind == "cond":
+                target = insn.addr + insn.operands[2]
+                emit_compare(depth, insn, k)
+                emit(depth + 1, f"s.pc = {target}", (k + 1, False))
+                if loop:
+                    emit(depth + 1, "t += 1", (k + 1, False))
+                    emit_flush(depth + 1, (k + 1, False))
+                    emit(depth + 1, f"return done + {k + 1}",
+                         (k + 1, False))
+                else:
+                    emit(depth + 1, f"s.cycles += {tb_cost}",
+                         (k + 1, False))
+                    emit(depth + 1, "s.taken_branches += 1",
+                         (k + 1, False))
+                    emit(depth + 1, f"return {k + 1}")
+            elif kind == "jmp":
+                # Followed unconditional jmp: only its cost remains.
+                if loop:
+                    emit(depth, "t += 1", (k + 1, True))
+                else:
+                    emit(depth, f"s.cycles += {tb_cost}", (k + 1, True))
+                    emit(depth, "s.taken_branches += 1", (k + 1, True))
+            elif kind in ("call", "callr"):
+                nxt = insn.addr + insn.length
+                mn = "call" if kind == "call" else "callr"
+                if pushes:
+                    emit(depth, f"a = (r[{SP}] - 8) & {_MASK_SRC}",
+                         (k, True))
+                    emit(depth,
+                         f'if a + 8 > {msize}: raise UF(f"{mn} at '
+                         f'{{a:#x}}", pc={insn.addr})', (k, True))
+                    emit(depth, f"p8(d, a, {nxt})", (k, True))
+                    emit(depth, f"r[{SP}] = a", (k, True))
+                else:
+                    emit(depth, f"r[{LR}] = {nxt}", (k, True))
+                if loop:
+                    emit(depth, "u += 1", (k + 1, True))
+                else:
+                    emit(depth, f"s.cycles += {call_cost}",
+                         (k + 1, True))
+                    emit(depth, "s.taken_branches += 1", (k + 1, True))
+                if kind == "callr":
+                    emit(depth, f"p = r[{insn.operands[0]}]",
+                         (k + 1, False))
+                    emit(depth, f"if p != {extra}:", (k + 1, False))
+                    emit(depth + 1, "s.pc = p", (k + 1, False))
+                    if loop:
+                        emit_flush(depth + 1, (k + 1, False))
+                        emit(depth + 1, f"return done + {k + 1}",
+                             (k + 1, False))
+                    else:
+                        emit(depth + 1, f"return {k + 1}")
+            elif kind == "jmpr":
+                emit(depth, f"p = r[{insn.operands[0]}]", (k, True))
+                if loop:
+                    emit(depth, "t += 1", (k + 1, False))
+                else:
+                    emit(depth, f"s.cycles += {tb_cost}",
+                         (k + 1, False))
+                    emit(depth, "s.taken_branches += 1",
+                         (k + 1, False))
+                emit(depth, f"if p != {extra}:", (k + 1, False))
+                emit(depth + 1, "s.pc = p", (k + 1, False))
+                if loop:
+                    emit_flush(depth + 1, (k + 1, False))
+                    emit(depth + 1, f"return done + {k + 1}",
+                         (k + 1, False))
+                else:
+                    emit(depth + 1, f"return {k + 1}")
+            elif kind == "ret":
+                if pushes:
+                    emit(depth, f"a = r[{SP}]", (k, True))
+                    emit(depth,
+                         f'if a + 8 > {msize}: raise UF(f"ret at '
+                         f'{{a:#x}}", pc={insn.addr})', (k, True))
+                    emit(depth, "p = u8(d, a)[0]", (k, True))
+                    emit(depth, f"r[{SP}] = (a + 8) & {_MASK_SRC}",
+                         (k, True))
+                else:
+                    emit(depth, f"p = r[{LR}]", (k, True))
+                if loop:
+                    emit(depth, "w += 1", (k + 1, False))
+                else:
+                    emit(depth, f"s.cycles += {ret_cost}",
+                         (k + 1, False))
+                    emit(depth, "s.taken_branches += 1",
+                         (k + 1, False))
+                emit(depth, f"if p != {extra}:", (k + 1, False))
+                emit(depth + 1, "s.pc = p", (k + 1, False))
+                if loop:
+                    emit_flush(depth + 1, (k + 1, False))
+                    emit(depth + 1, f"return done + {k + 1}",
+                         (k + 1, False))
+                else:
+                    emit(depth + 1, f"return {k + 1}")
+            elif kind == "end":
+                names.append((f"c{k}", extra))
+                emit(1, f"c{k}()",
+                     (k, insn.mnemonic not in ("trap", "syscall")))
+                emit(1, f"return {n}")
+            elif kind == "condclose":
+                emit_compare(2, insn, k)
+                emit(3, "t += 1", (n, False))
+                emit(3, f"done += {n}", (n, False))
+                emit(3, f"if done + {n} < budget:", (0, False))
+                emit(4, "continue", (0, False))
+                emit(3, f"s.pc = {start}", (0, False))
+                emit_flush(3, (0, False))
+                emit(3, "return done", (0, False))
+                emit(2, f"s.pc = {insn.addr + insn.length}", (n, False))
+                emit(2, f"done += {n}", (n, False))
+                emit_flush(2, (0, False))
+                emit(2, "return done", (0, False))
+            elif kind == "jmpclose":
+                emit(2, "t += 1", (n, False))
+                emit(2, f"done += {n}", (n, False))
+                emit(2, f"if done + {n} < budget:", (0, False))
+                emit(3, "continue", (0, False))
+                emit(2, f"s.pc = {start}", (0, False))
+                emit_flush(2, (0, False))
+                emit(2, "return done", (0, False))
+        if last_kind not in ("condclose", "jmpclose", "end"):
+            # Trace cut mid-stream (cap, watch boundary, unfetchable
+            # next address): seal the pc of the not-taken continuation
+            # once for the whole pass.
+            kind, last_insn, extra = items[-1]
+            if kind in ("s", "cond"):
+                seal = last_insn.addr + last_insn.length
+            elif kind in ("jmp", "call"):
+                seal = last_insn.addr + last_insn.operands[0]
+            else:   # ret/callr/jmpr: the guard confirmed this target
+                seal = extra
+            emit(1, f"s.pc = {seal}", (n, False))
+            emit(1, f"return {n}")
+        # Register allocation: every guest register the generated code
+        # touches becomes a frame local (``r[3]`` -> ``v3``), loaded
+        # once at entry, written back at every exit and around closure
+        # calls (closures operate on the shared ``r`` list).  Inside a
+        # loop trace the registers live in locals across iterations,
+        # which is the single biggest throughput lever.  At any fault
+        # point the locals *are* the architectural register state;
+        # :meth:`_fault_index` writes them back — except when the
+        # fault came from inside a closure (``nowb`` lines), where the
+        # pre-flushed ``r`` list already carries the closure's partial
+        # effects and the locals are stale.
+        alloc = tuple(sorted({int(g) for text, _ in body
+                              for g in _REG_REF.findall(text)}))
+        nowb = set()
+        if alloc:
+            load = "; ".join(f"v{i} = r[{i}]" for i in alloc)
+            store = "; ".join(f"r[{i}] = v{i}" for i in alloc)
+            head = 1 + len(counters) if loop else 0
+            out = list(body[:head])
+            out.append(("    " + load, None))
+            if loop:
+                out.append(body[head])      # the ``while True:`` line
+                head += 1
+            for text, entry in body[head:]:
+                stripped = text.lstrip()
+                indent = text[:len(text) - len(stripped)]
+                if _CLOSURE_CALL.match(stripped):
+                    out.append((indent + store, None))
+                    out.append((text, entry))
+                    nowb.add(len(out) + 1)  # final line number
+                    out.append((indent + load, None))
+                elif stripped.startswith("return"):
+                    out.append((indent + store, None))
+                    out.append((text, entry))
+                else:
+                    out.append((_REG_REF.sub(r"v\1", text), entry))
+            body = out
+        header = ("def _sb(budget, "
+                  + ", ".join(f"{nm}=_{nm}" for nm, _ in names) + "):")
+        src = header + "\n" + "\n".join(
+            text for text, _ in body) + "\n"
+        linemap = {}
+        for i, (_, entry) in enumerate(body):
+            if entry is not None:
+                linemap[i + 2] = entry
+        filename = (f"<superblock {start:#x}+{n}"
+                    f" #{next(_block_ids)}>")
+        namespace = {f"_{nm}": value for nm, value in names}
+        exec(compile(src, filename, "exec"), namespace)
+        return (namespace["_sb"], linemap, filename, alloc,
+                frozenset(nowb))
+
+    def _fault_index(self, block, exc):
+        """How many instructions of ``block`` completed before ``exc``.
+
+        Recovered from the traceback's line in the generated source
+        plus the generated frame's locals (loop blocks keep their
+        iteration progress in ``done``/``t``), so the happy path
+        carries no per-instruction bookkeeping at all.  Pending
+        taken-branch accounting is flushed here, and the faulting
+        instruction's pc is re-established where the per-step tier
+        would have it, matching that tier bit for bit.
+        """
+        linemap = block[5]
+        addrs = block[4]
+        tb = exc.__traceback__
+        while tb is not None:
+            frame = tb.tb_frame
+            if frame.f_code.co_filename == block[6]:
+                idx, restore = linemap.get(tb.tb_lineno, (0, False))
+                locs = frame.f_locals
+                t = locs.get("t", 0)
+                u = locs.get("u", 0)
+                w = locs.get("w", 0)
+                if t or u or w:
+                    self.cycles += (t * self.costs.taken_branch
+                                    + u * self.costs.call
+                                    + w * self.costs.ret)
+                    self.taken_branches += t + u + w
+                if block[7] and tb.tb_lineno not in block[8]:
+                    # The frame locals are the architectural register
+                    # state at the fault point (closure-call lines
+                    # excepted: there the pre-flushed register file is
+                    # authoritative and the locals are stale).
+                    regs = self.regs
+                    for i in block[7]:
+                        name = f"v{i}"
+                        if name in locs:
+                            regs[i] = locs[name]
+                if restore and idx < len(addrs):
+                    self.pc = addrs[idx]
+                return locs.get("done", 0) + idx
+            tb = tb.tb_next
+        return 0
 
     def _make_closure(self, insn, data, msize):
         self_ = self
@@ -334,13 +1182,20 @@ class CPU:
             rd, disp = ops
             size = LOAD_SIZES[m]
             a = addr + disp
-
-            def fn():
-                if a < 0 or a + size > msize:
+            # The operands are compile-time constants, so the bounds
+            # check runs once here instead of on every execution; an
+            # out-of-range target keeps its exact runtime-fault
+            # behaviour via an always-raising closure.
+            if a < 0 or a + size > msize:
+                def fn():
                     raise UnmappedMemoryFault(
                         f"pc-relative load at {a:#x}", pc=addr
                     )
-                regs[rd] = int.from_bytes(data[a:a + size], "little")
+                return fn
+            hi = a + size
+
+            def fn():
+                regs[rd] = int.from_bytes(data[a:hi], "little")
                 self_.pc = nxt
             return fn
 

@@ -41,7 +41,7 @@ class Machine:
 
     def __init__(self, arch, costs=None, mem_size=None,
                  step_limit=DEFAULT_STEP_LIMIT, tracer=None,
-                 metrics=None, flight=None):
+                 metrics=None, flight=None, engine="superblock"):
         self.spec = get_arch(arch) if isinstance(arch, str) else arch
         self.costs = costs or CostModel.default()
         #: observability sinks (:mod:`repro.obs`); no-ops by default
@@ -50,7 +50,7 @@ class Machine:
         self.memory = Memory(mem_size) if mem_size else Memory()
         self.kernel = Kernel(self.memory, self.costs)
         self.cpu = CPU(self.memory, self.spec, self.kernel, self.costs,
-                       step_limit)
+                       step_limit, engine=engine)
         self.images = []
         #: optional :class:`repro.obs.FlightRecorder`; None = not recording
         self.flight = None
@@ -151,7 +151,7 @@ class Machine:
 
 def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
                 stack_headroom=1 << 20, tracer=None, metrics=None,
-                flight=None):
+                flight=None, engine="superblock"):
     """A machine sized to fit ``binary`` plus stack headroom."""
     alloc = binary.alloc_sections()
     top = max((s.end for s in alloc), default=0)
@@ -160,15 +160,17 @@ def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
     size = max(size, 4 << 20)
     return Machine(binary.arch_name, costs=costs, mem_size=size,
                    step_limit=step_limit, tracer=tracer, metrics=metrics,
-                   flight=flight)
+                   flight=flight, engine=engine)
 
 
 def run_binary(binary, runtime_lib=None, costs=None, bias=None,
                step_limit=DEFAULT_STEP_LIMIT, watch_bounce=None,
-               tracer=None, metrics=None, flight=None):
+               tracer=None, metrics=None, flight=None,
+               engine="superblock"):
     """Load and run a binary on a fresh machine; returns a RunResult."""
     machine = machine_for(binary, costs=costs, step_limit=step_limit,
-                          tracer=tracer, metrics=metrics, flight=flight)
+                          tracer=tracer, metrics=metrics, flight=flight,
+                          engine=engine)
     image = machine.load(binary, bias)
     if runtime_lib is not None:
         machine.install_runtime(runtime_lib, image)

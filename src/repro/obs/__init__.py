@@ -37,6 +37,7 @@ from repro.obs.observatory import (
     EnvFingerprint,
     PerfSample,
     RegressionSentinel,
+    newest_per_key,
     render_sentinel_report,
     render_trend,
     stamp_record,
@@ -92,6 +93,7 @@ __all__ = [
     "EnvFingerprint",
     "BenchHistory",
     "RegressionSentinel",
+    "newest_per_key",
     "render_sentinel_report",
     "render_trend",
     "trend_document",

@@ -103,7 +103,13 @@ class FlightRecorder:
 
     def attach(self, machine):
         """Wire this recorder into a machine's CPU and kernel and learn
-        the layout of every image already loaded."""
+        the layout of every image already loaded.
+
+        Attaching also demotes ``CPU.run`` to the per-step execution
+        tier: block events and trampoline hits must be observed at
+        every control transfer, which fused superblocks skip by
+        design.  Accounting is identical either way; only wall-clock
+        speed differs."""
         machine.flight = self
         machine.cpu.flight = self
         machine.kernel.flight = self

@@ -347,6 +347,21 @@ FLOORS = {
 }
 
 
+def newest_per_key(samples):
+    """The newest sample of every distinct (workload, arch, mode) key,
+    in first-appearance order.
+
+    ``repro perf check --each`` grades each of these against its own
+    rolling baseline, so a history holding both rewrite samples and
+    emulator-throughput samples gates every family, not just whichever
+    happened to be appended last.
+    """
+    newest = {}
+    for sample in samples:
+        newest[sample.key] = sample
+    return list(newest.values())
+
+
 def sample_metrics(sample):
     """``{metric name: (kind, value)}`` for everything the sentinel
     grades in one sample."""
