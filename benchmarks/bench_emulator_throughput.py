@@ -22,8 +22,17 @@ Each kernel is measured twice and both rounds append a
 :class:`~repro.obs.PerfSample` (workload key
 ``emulator-throughput/<kernel>``) to ``BENCH_history.json``, so
 ``repro perf check --each`` has a same-run baseline and gates the
-throughput alongside the rewrite samples.  Run with ``--json
+throughput alongside the rewrite samples.  A telemetry-attached run
+per kernel folds ``engine.guard_failure_rate`` and
+``engine.compile_seconds`` into those samples, so the sentinel gates
+speculation quality and JIT compile time too.  Run with ``--json
 BENCH_emulator.json`` to persist the per-kernel records.
+
+``test_disabled_telemetry_guard_overhead`` is the standing guard for
+the ``is None`` discipline: with telemetry detached the superblock
+dispatch loop pays two boolean tests per *block dispatch*, which must
+project to <2% of a loop-kernel run — and the >=5x throughput floor
+must hold unchanged.
 """
 
 import dataclasses
@@ -32,7 +41,7 @@ import time
 import pytest
 
 from repro.machine.machine import machine_for
-from repro.obs import BenchHistory, PerfSample
+from repro.obs import BenchHistory, EngineTelemetry, PerfSample
 from repro.toolchain import ir
 from repro.toolchain.workloads import (
     build_workload,
@@ -110,8 +119,8 @@ def _spec_mixes():
     return out
 
 
-def _timed_run(binary, engine):
-    machine = machine_for(binary, engine=engine)
+def _timed_run(binary, engine, telemetry=None):
+    machine = machine_for(binary, engine=engine, telemetry=telemetry)
     machine.load(binary)
     t0 = time.perf_counter()
     result = machine.run()
@@ -132,6 +141,7 @@ def _measure(binary):
 def _experiment():
     history = BenchHistory()
     rows = {}
+    measured = []
     for group, workloads in (("loop", _loop_kernels()),
                              ("mix", _spec_mixes())):
         for name, binary in workloads:
@@ -142,26 +152,45 @@ def _experiment():
             for _ in range(2):
                 _, step_s, sb_res, sb_s = _measure(binary)
                 rounds.append((step_s, sb_s, sb_res))
-                history.append(PerfSample(
-                    workload=f"emulator-throughput/{name}",
-                    arch="x86", mode="superblock",
-                    total_seconds=sb_s,
-                    instructions=sb_res.icount,
-                    cycles=sb_res.cycles,
-                ))
-            # Best-of-rounds per engine: throughput is a capability
-            # number, so noise from a busy machine should not count
-            # against either tier.
-            step_s = min(r[0] for r in rounds)
-            sb_s = min(r[1] for r in rounds)
-            sb_res = rounds[0][2]
-            rows[name] = {
-                "group": group,
-                "instructions": sb_res.icount,
-                "step_ips": sb_res.icount / step_s,
-                "superblock_ips": sb_res.icount / sb_s,
-                "speedup": step_s / sb_s,
-            }
+            measured.append((group, name, binary, rounds))
+    # Telemetry pass, strictly *after* every timed round: the loop
+    # kernels' speedup ratios are sequence-sensitive on a busy
+    # machine, so no extra run may interleave with the measurements.
+    # One telemetry-attached run per workload folds the guard-failure
+    # rate and JIT compile seconds into each sample — the sentinel
+    # gates speculation/compile-time regressions alongside throughput
+    # — and must stay bit-identical to the detached rounds.
+    for group, name, binary, rounds in measured:
+        telemetry = EngineTelemetry()
+        telem_res, _ = _timed_run(binary, "superblock",
+                                  telemetry=telemetry)
+        for field in _PARITY_FIELDS:
+            assert getattr(telem_res, field) \
+                == getattr(rounds[0][2], field), \
+                f"telemetry broke engine parity on {field}"
+        for step_s, sb_s, sb_res in rounds:
+            history.append(PerfSample(
+                workload=f"emulator-throughput/{name}",
+                arch="x86", mode="superblock",
+                total_seconds=sb_s,
+                instructions=sb_res.icount,
+                cycles=sb_res.cycles,
+                guard_failure_rate=telemetry.guard_failure_rate,
+                engine_compile_seconds=telemetry.compile_seconds,
+            ))
+        # Best-of-rounds per engine: throughput is a capability
+        # number, so noise from a busy machine should not count
+        # against either tier.
+        step_s = min(r[0] for r in rounds)
+        sb_s = min(r[1] for r in rounds)
+        sb_res = rounds[0][2]
+        rows[name] = {
+            "group": group,
+            "instructions": sb_res.icount,
+            "step_ips": sb_res.icount / step_s,
+            "superblock_ips": sb_res.icount / sb_s,
+            "speedup": step_s / sb_s,
+        }
     return rows
 
 
@@ -187,3 +216,87 @@ def test_emulator_throughput(benchmark, print_section, runtime_records):
              "compile-time-bound context rows")
     print_section("Emulator throughput: superblock vs per-step tier",
                   body)
+
+
+#: Detached-telemetry tax budget on the superblock dispatch loop.
+TELEMETRY_BUDGET = 0.02
+
+
+def _observe_cost_per_dispatch(iterations=500_000, repeats=5):
+    """Marginal seconds for the detached-telemetry dispatch check: two
+    ``is not None`` tests (telemetry, flight) plus the derived boolean
+    test — a guarded loop minus an empty loop, best-of-N."""
+    telem = None
+    flight = None
+    laps = range(iterations)
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in laps:
+            pass
+        base = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in laps:
+            observe = telem is not None or flight is not None
+            if observe:
+                raise AssertionError
+        delta = (time.perf_counter() - t0) - base
+        best = delta if best is None else min(best, delta)
+    return max(0.0, best) / iterations
+
+
+def test_disabled_telemetry_guard_overhead(benchmark, print_section,
+                                           runtime_records):
+    """Telemetry detached must stay invisible: the superblock dispatch
+    loop's observation check projects to <2% of a loop-kernel run, and
+    the >=5x throughput floor holds with no collector attached."""
+    name, binary = _loop_kernels()[0]   # arith-loop
+
+    def experiment():
+        # Best-of-3 detached superblock runs, parity-checked per round.
+        rounds = [_measure(binary) for _ in range(3)]
+        step_s = min(r[1] for r in rounds)
+        sb_s = min(r[3] for r in rounds)
+        sb_res = rounds[0][2]
+        # The dispatch count comes from a telemetry-attached run of
+        # the same binary: dispatches are deterministic, so it is the
+        # exact number of observation checks a detached run performs.
+        telemetry = EngineTelemetry()
+        _timed_run(binary, "superblock", telemetry=telemetry)
+        per_check = _observe_cost_per_dispatch()
+        projected = telemetry.dispatches * per_check / sb_s
+        return {
+            "dispatches": telemetry.dispatches,
+            "guard_ns": per_check * 1e9,
+            "superblock_ms": sb_s * 1e3,
+            "projected_overhead": projected,
+            "speedup": step_s / sb_s,
+            "instructions": sb_res.icount,
+        }
+
+    r = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert r["dispatches"] > 0
+    assert r["projected_overhead"] < TELEMETRY_BUDGET, (
+        f"detached telemetry check projects to "
+        f"{r['projected_overhead']:.2%} of a loop-kernel run "
+        f"(budget {TELEMETRY_BUDGET:.0%})"
+    )
+    assert r["speedup"] >= SPEEDUP_FLOOR, (
+        f"{name}: superblock speedup {r['speedup']:.2f}x with "
+        f"telemetry detached fell below the {SPEEDUP_FLOOR:.0f}x floor"
+    )
+    benchmark.extra_info.update(r)
+    runtime_records({"bench": "telemetry_guard_overhead",
+                     "benchmark": name, "arch": "x86", **r})
+    print_section(
+        "Disabled engine-telemetry overhead on the superblock tier",
+        f"reference        : {name} / x86\n"
+        f"dispatches       : {r['dispatches']:,}\n"
+        f"guard cost/check : {r['guard_ns']:.1f} ns\n"
+        f"superblock run   : {r['superblock_ms']:.2f} ms "
+        f"({r['instructions']:,} instructions)\n"
+        f"projected tax    : {r['projected_overhead']:.3%} "
+        f"(budget {TELEMETRY_BUDGET:.0%})\n"
+        f"speedup          : {r['speedup']:.2f}x "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)",
+    )

@@ -23,6 +23,7 @@ Examples::
     python -m repro atlas show latest
     python -m repro atlas diff 11aa22bb 33cc44dd
     python -m repro run sgcc.rw
+    python -m repro engine report sgcc.rw --top 5
     python -m repro layout sgcc.rw
     python -m repro table3 --arch x86
     python -m repro experiment docker
@@ -44,12 +45,14 @@ from repro.core import (
 from repro.binfmt import Binary
 from repro.machine import run_binary
 from repro.obs import (
+    EngineTelemetry,
     FlightRecorder,
     Metrics,
     ReceiptLedger,
     Tracer,
     fleet_summary,
     render_degradation,
+    render_engine_report,
     render_flight_report,
     render_profile,
 )
@@ -474,14 +477,23 @@ def cmd_perf(args):
             return EXIT_REWRITE_ERROR
         total = time.perf_counter() - t0
         instructions = cycles = None
+        guard_failure_rate = engine_compile_seconds = None
         if not args.no_run:
-            result = run_binary(rewritten, runtime_lib=runtime)
+            # Run with engine telemetry attached so the sentinel can
+            # gate guard-failure-rate and compile-time regressions
+            # alongside the static rewrite costs.
+            telemetry = EngineTelemetry()
+            result = run_binary(rewritten, runtime_lib=runtime,
+                                telemetry=telemetry)
             instructions, cycles = result.icount, result.cycles
+            guard_failure_rate = telemetry.guard_failure_rate
+            engine_compile_seconds = telemetry.compile_seconds
         sample = PerfSample.from_rewrite(
             tracer, metrics, report,
             workload=args.workload, arch=args.arch, mode=args.mode,
             total_seconds=total, instructions=instructions,
-            cycles=cycles,
+            cycles=cycles, guard_failure_rate=guard_failure_rate,
+            engine_compile_seconds=engine_compile_seconds,
         )
         history.append(sample)
         mem = (f", peak {sample.mem_peak:,} bytes"
@@ -681,7 +693,8 @@ def cmd_run(args):
     runtime = None
     if "rewrite" in binary.metadata:
         runtime = RuntimeLibrary.from_binary(binary)
-    flight = FlightRecorder() if args.flight_record else None
+    flight = (FlightRecorder(granularity=args.flight_granularity)
+              if args.flight_record else None)
     result = run_binary(binary, runtime_lib=runtime, flight=flight,
                         engine=args.engine)
     for value in result.output:
@@ -693,6 +706,29 @@ def cmd_run(args):
             f.write(flight.to_json(indent=2))
         print(render_flight_report(flight), file=sys.stderr)
         print(f"[flight record written to {args.flight_record}]",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_engine(args):
+    """The engine observatory: run a binary with JIT telemetry attached
+    and print the ``EngineReport/v1`` — hot blocks ranked by attributed
+    cycles, guard sites ranked by misses, the compile-vs-execute time
+    split, and block-cache lifecycle counters."""
+    binary = _read_binary(args.binary)
+    runtime = None
+    if "rewrite" in binary.metadata:
+        runtime = RuntimeLibrary.from_binary(binary)
+    telemetry = EngineTelemetry()
+    result = run_binary(binary, runtime_lib=runtime,
+                        engine=args.engine, telemetry=telemetry)
+    print(f"[exit {result.exit_code}, {result.icount:,} instructions, "
+          f"{result.cycles:,} cycles]", file=sys.stderr)
+    print(render_engine_report(telemetry, top=args.top))
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(telemetry.to_json(indent=2))
+        print(f"[engine report written to {args.json}]",
               file=sys.stderr)
     return 0
 
@@ -965,12 +1001,34 @@ def build_parser():
     p.add_argument("--flight-record", metavar="FILE",
                    help="record the execution (block ring, trampoline "
                         "hits, RA translations) and write JSON to FILE")
+    p.add_argument("--flight-granularity", choices=["block", "step"],
+                   default="block",
+                   help="flight-record granularity: block rides the "
+                        "fused tier (default); step demotes to the "
+                        "per-step tier for per-transfer events")
     p.add_argument("--engine", choices=["superblock", "step"],
                    default="superblock",
                    help="execution tier: fused superblocks (default) "
                         "or the per-step closure loop; accounting is "
                         "identical, only speed differs")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "engine",
+        help="engine observatory: run with JIT telemetry and print "
+             "the EngineReport (hot blocks, guard sites, time split)",
+    )
+    p.add_argument("action", choices=["report"])
+    p.add_argument("binary")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="hot blocks / guard sites to rank (default 10)")
+    p.add_argument("--engine", choices=["superblock", "step"],
+                   default="superblock",
+                   help="execution tier to observe (default superblock)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the EngineReport/v1 document to "
+                        "FILE")
+    p.set_defaults(func=cmd_engine)
 
     p = sub.add_parser(
         "diff-run",

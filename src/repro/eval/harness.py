@@ -70,6 +70,9 @@ class ToolRun:
     #: the :class:`repro.obs.FlightRecorder` that observed this run
     #: (None when flight recording was not requested)
     flight: object = field(default=None, repr=False)
+    #: the :class:`repro.obs.EngineTelemetry` that observed this run's
+    #: superblock JIT (None when engine telemetry was not requested)
+    telemetry: object = field(default=None, repr=False)
     #: the rewrite's :class:`repro.obs.RewriteReceipt` (None for tools
     #: without receipt support)
     receipt: object = field(default=None, repr=False)
@@ -133,8 +136,9 @@ def _discard_receipt(receipt):
 
 def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
                   instrumentation=None, tracer=None, metrics=None,
-                  flight=None, cache=None, jobs=None, faults=None,
-                  receipt_sink=None, atlas_sink=None, **tool_kwargs):
+                  flight=None, telemetry=None, cache=None, jobs=None,
+                  faults=None, receipt_sink=None, atlas_sink=None,
+                  **tool_kwargs):
     """Run one tool on one binary; returns a :class:`ToolRun`.
 
     ``oracle`` is the expected ``(exit_code, output list)``;
@@ -148,7 +152,10 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
     traced memory on :attr:`ToolRun.mem_peak`.  Pass a
     :class:`repro.obs.FlightRecorder` as ``flight`` to record the
     emulated execution (block ring, trampoline hits, RA translations);
-    it comes back on :attr:`ToolRun.flight`.
+    it comes back on :attr:`ToolRun.flight`.  Pass an
+    :class:`repro.obs.EngineTelemetry` as ``telemetry`` to observe the
+    superblock JIT (hot blocks, guard outcomes, compile time); it
+    comes back on :attr:`ToolRun.telemetry`.
 
     ``cache`` (an :class:`repro.core.ArtifactCache`, typically shared
     across many evaluations) and ``jobs`` feed the incremental pipeline;
@@ -209,7 +216,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         runtime = runtime_for(tool, rewriter, rewritten)
         result = run_binary(rewritten, runtime_lib=runtime,
                             tracer=tracer, metrics=metrics,
-                            flight=flight)
+                            flight=flight, telemetry=telemetry)
     except ReproError as exc:
         error = f"{type(exc).__name__}: {exc}"
         tracer.event("harness-error", tool=tool, benchmark=benchmark,
@@ -217,6 +224,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         metrics.inc("harness.errors")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
                        error=error, trace=attach, flight=flight,
+                       telemetry=telemetry,
                        receipt=getattr(rewriter, "last_receipt", None),
                        atlas=getattr(rewriter, "last_atlas", None))
     mem_peak = None
@@ -230,7 +238,8 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         metrics.inc("harness.wrong_output")
         return ToolRun(tool=tool, benchmark=benchmark, passed=False,
                        error="wrong output", report=report, trace=attach,
-                       flight=flight, cache_hits=cache_stats[0],
+                       flight=flight, telemetry=telemetry,
+                       cache_hits=cache_stats[0],
                        cache_misses=cache_stats[1],
                        analysis_seconds_saved=cache_stats[2],
                        mem_peak=mem_peak,
@@ -259,6 +268,7 @@ def evaluate_tool(tool, binary, oracle, base_cycles, benchmark="",
         report=report,
         trace=attach,
         flight=flight,
+        telemetry=telemetry,
         receipt=getattr(rewriter, "last_receipt", None),
         atlas=getattr(rewriter, "last_atlas", None),
     )

@@ -11,10 +11,10 @@ Execution is tiered:
 * **per-step tier** — each decoded instruction is compiled once into a
   Python closure keyed by address; repeated execution (loops) runs the
   closure without re-decoding.  :meth:`CPU.step` (lockstep/differential
-  use) always runs here, and :meth:`CPU.run` falls back to it when a
-  :class:`~repro.obs.flight.FlightRecorder` is attached (block events
-  must be observed at every control transfer) or when ``engine="step"``
-  is selected.
+  use) always runs here, and :meth:`CPU.run` falls back to it when
+  ``engine="step"`` is selected or a *step-granularity*
+  :class:`~repro.obs.flight.FlightRecorder` is attached (per-transfer
+  block events demand per-step execution).
 * **superblock tier** — the default for :meth:`CPU.run`.  At first
   execution of an address, the run of instructions from that address up
   to the next control transfer (or watch-region boundary, or
@@ -24,7 +24,22 @@ Execution is tiered:
   once per entry with pre-computed instruction/cycle deltas, so
   straight-line runs skip per-step bookkeeping entirely.
 
-Accounting stays *exact* across tiers: cycle costs follow
+Demotions away from the fused tier are never silent: a manual
+:meth:`CPU.step` on a superblock CPU and a step-granularity recorder
+attach each count a cause in :attr:`CPU.demotions` (mirrored to the
+machine's metrics as ``engine.demoted`` and traced as an
+``engine-demoted`` event).  The default block-granularity
+:class:`~repro.obs.flight.FlightRecorder` *rides* the fused tier — one
+ring entry per block dispatch with exact trampoline-hit recovery — and
+an attached :class:`~repro.obs.engine.EngineTelemetry` observes
+fuse/compile/dispatch/guard activity without demoting.  Block-cache
+invalidations are likewise counted by cause in
+:attr:`CPU.invalidations` (``invalidate_code``, ``watch-region``,
+``recorder-attach``, ``telemetry-attach``/``-detach``).  The ``is
+None`` discipline keeps the detached observer tax to one boolean test
+per block dispatch (budgeted under 2% by the throughput bench).
+
+Accounting stays *exact* across tiers (and with observers attached): cycle costs follow
 :class:`repro.machine.costs.CostModel` (including :attr:`CostModel.insn`
 per executed instruction), i-cache misses are modeled per line actually
 crossed inside a block, watch-region transitions are counted once per
@@ -36,6 +51,7 @@ illegal instruction, kernel errors — leave the same ``icount``,
 import itertools
 import re
 import struct
+from time import perf_counter
 
 from repro.isa.insn import LOAD_SIZES, SIGNED_LOADS, STORE_SIZES
 from repro.isa.registers import LR, NUM_REGS, SP
@@ -54,6 +70,9 @@ _MASK_SRC = "0xffffffffffffffff"
 
 #: Default dynamic-instruction budget per run.
 DEFAULT_STEP_LIMIT = 80_000_000
+
+#: Known execution-engine tiers, in preference order.
+ENGINES = ("superblock", "step")
 
 #: Upper bound on instructions fused into one superblock.  A straight
 #: line longer than this is split; exactness is unaffected, because the
@@ -239,14 +258,19 @@ class CPU:
 
     def __init__(self, memory, spec, kernel, costs=None,
                  step_limit=DEFAULT_STEP_LIMIT, engine="superblock"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; known tiers: "
+                + ", ".join(ENGINES))
         self.memory = memory
         self.spec = spec
         self.kernel = kernel
         self.costs = costs or CostModel.default()
         self.step_limit = step_limit
         #: Execution engine for :meth:`run`: ``"superblock"`` (default)
-        #: or ``"step"`` (always per-instruction).  A FlightRecorder
-        #: forces the per-step tier regardless of this setting.
+        #: or ``"step"`` (always per-instruction).  A step-granularity
+        #: FlightRecorder forces the per-step tier regardless of this
+        #: setting — counted in :attr:`demotions`, never silent.
         self.engine = engine
 
         self.regs = [0] * NUM_REGS
@@ -264,6 +288,20 @@ class CPU:
         #: Optional :class:`repro.obs.flight.FlightRecorder`; None keeps
         #: the hot loop at a single identity test per step.
         self.flight = None
+        #: Optional :class:`repro.obs.engine.EngineTelemetry`; None
+        #: keeps the dispatch loop at one boolean test per block.
+        self.telemetry = None
+        #: Demotions away from the fused tier, by cause (always
+        #: counted, telemetry attached or not).
+        self.demotions = {}
+        #: Block-cache invalidations that dropped fused blocks, by
+        #: cause (always counted, telemetry attached or not).
+        self.invalidations = {}
+        #: Optional ``fn(cause)`` invoked on every demotion — the
+        #: Machine wires this to its metrics/tracer so demotions are
+        #: never silent.
+        self.on_demote = None
+        self._step_demoted = False
 
         self._compiled = {}
         self._ends = {}
@@ -286,7 +324,8 @@ class CPU:
         # Superblocks are fused with watch-region boundaries baked in,
         # so changing the regions invalidates every block.
         self._watch_regions = regions
-        self._blocks.clear()
+        if self._blocks:
+            self._invalidate_cause("watch-region")
 
     def invalidate_code(self):
         """Drop compiled closures and fused superblocks (call after
@@ -294,15 +333,64 @@ class CPU:
         self._compiled.clear()
         self._ends.clear()
         self._insns.clear()
+        if self._blocks:
+            self._invalidate_cause("invalidate_code")
+
+    def attach_telemetry(self, telemetry):
+        """Wire an :class:`~repro.obs.engine.EngineTelemetry` in (or
+        out, with ``None``).
+
+        Existing fused blocks were generated without (or with a
+        previous collector's) guard instrumentation, so the block cache
+        is dropped — counted as a ``telemetry-attach``/``-detach``
+        invalidation — and rebuilt lazily with the right counters baked
+        in.  Pre-attach demotion/invalidation tallies are folded into
+        the collector so nothing is lost.
+        """
+        if telemetry is self.telemetry:
+            return
+        if self._blocks:
+            self._invalidate_cause(
+                "telemetry-attach" if telemetry is not None
+                else "telemetry-detach")
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.engine = self.engine
+            telemetry.seed(self.demotions, self.invalidations)
+
+    def _demote(self, cause):
+        """Count one demotion away from the fused tier, by cause, and
+        signal it (telemetry mirror plus the machine's ``on_demote``
+        metrics/event hook)."""
+        self.demotions[cause] = self.demotions.get(cause, 0) + 1
+        t = self.telemetry
+        if t is not None:
+            t.record_demotion(cause)
+        cb = self.on_demote
+        if cb is not None:
+            cb(cause)
+
+    def _invalidate_cause(self, cause):
+        """Drop every fused block and count why."""
         self._blocks.clear()
+        self.invalidations[cause] = \
+            self.invalidations.get(cause, 0) + 1
+        t = self.telemetry
+        if t is not None:
+            t.record_invalidation(cause)
 
     def step(self):
         """Execute exactly one instruction (lockstep/differential use).
 
         Always runs the per-step tier and skips the run loop's
         icache/watch/flight accounting; callers own whatever bookkeeping
-        they need.
+        they need.  On a superblock CPU the first manual step counts a
+        ``manual-step`` demotion (once per CPU), so fused-tier escapes
+        are visible in the engine observatory.
         """
+        if not self._step_demoted and self.engine == "superblock":
+            self._step_demoted = True
+            self._demote("manual-step")
         pc = self.pc
         fn = self._compiled.get(pc)
         if fn is None:
@@ -315,12 +403,13 @@ class CPU:
     def run(self, entry=None, step_limit=None):
         """Execute until an exit syscall; returns the exit code.
 
-        Dispatches fused superblocks unless a flight recorder is
-        attached or ``engine="step"`` was selected; the last strides of
-        a run approaching its step limit always finish per-step, so the
-        limit fault lands on the exact instruction.  ``icount`` is
-        committed in a ``finally`` so faulting runs report exactly the
-        instructions that completed.
+        Dispatches fused superblocks unless ``engine="step"`` was
+        selected or a step-granularity flight recorder is attached
+        (block-granularity recorders and engine telemetry ride the
+        fused tier); the last strides of a run approaching its step
+        limit always finish per-step, so the limit fault lands on the
+        exact instruction.  ``icount`` is committed in a ``finally`` so
+        faulting runs report exactly the instructions that completed.
         """
         if entry is not None:
             self.pc = entry
@@ -348,9 +437,13 @@ class CPU:
         self.running = True
         steps = 0
         try:
-            if flight is None and self.engine == "superblock":
+            if self.engine == "superblock" and (
+                    flight is None or flight.granularity == "block"):
                 blocks = self._blocks
                 build = self._build_block
+                telem = self.telemetry
+                observe = telem is not None or flight is not None
+                tstats = telem.block_stats if telem is not None else None
                 if icache_on:
                     # Segmented dispatch: one tag check per i-cache
                     # line actually crossed inside the block, charged
@@ -370,6 +463,10 @@ class CPU:
                                 if prev_region != -1:
                                     self.transitions += 1
                                 prev_region = region
+                        if observe:
+                            pc0 = self.pc
+                            c0 = self.cycles
+                            steps0 = steps
                         for line, idx, seg_fns, seg_n, seg_cyc in b[3]:
                             if tags[idx] != line:
                                 tags[idx] = line
@@ -386,6 +483,20 @@ class CPU:
                                 raise
                             steps += seg_n
                             self.cycles += seg_cyc
+                        if observe:
+                            done = steps - steps0
+                            if tstats is not None:
+                                st = tstats.get(pc0)
+                                if st is None:
+                                    tstats[pc0] = \
+                                        [1, done, self.cycles - c0]
+                                else:
+                                    st[0] += 1
+                                    st[1] += done
+                                    st[2] += self.cycles - c0
+                            if flight is not None:
+                                flight.record_superblock(
+                                    b, self.pc, done, self.cycles)
                 else:
                     while self.running:
                         b = blocks.get(self.pc)
@@ -401,6 +512,9 @@ class CPU:
                                 if prev_region != -1:
                                     self.transitions += 1
                                 prev_region = region
+                        if observe:
+                            pc0 = self.pc
+                            c0 = self.cycles
                         try:
                             # Fused blocks take the remaining step
                             # budget (loop blocks iterate internally
@@ -414,6 +528,19 @@ class CPU:
                             raise
                         steps += done
                         self.cycles += done * insn_cost
+                        if observe:
+                            if tstats is not None:
+                                st = tstats.get(pc0)
+                                if st is None:
+                                    tstats[pc0] = \
+                                        [1, done, self.cycles - c0]
+                                else:
+                                    st[0] += 1
+                                    st[1] += done
+                                    st[2] += self.cycles - c0
+                            if flight is not None:
+                                flight.record_superblock(
+                                    b, self.pc, done, self.cycles)
             # Per-step tier: flight recording, engine="step", and the
             # final strides of a run approaching its step limit.
             while self.running:
@@ -523,12 +650,15 @@ class CPU:
           locals by :meth:`_fuse` and the closure-call lines where a
           fault must not write those locals back.
         """
+        telem = self.telemetry
+        t0 = perf_counter() if telem is not None else 0.0
         compiled = self._compiled
         decoded = self._insns
         watch = self._watch_regions
         if watch:
             (a_lo, a_hi), (b_lo, b_hi) = watch
         trace = not self.costs.icache_enabled
+        reason = None   # why the trace ended (telemetry trace shape)
         data = self.memory.data
         msize = self.memory.size
         regs = self.regs
@@ -553,6 +683,7 @@ class CPU:
                 except MachineFault:
                     if not items:
                         raise   # faulting first fetch: as per-step
+                    reason = "unfetchable"
                     break       # seal here; the next dispatch faults
                 compiled[a] = fn
             insn = decoded[a]
@@ -562,6 +693,7 @@ class CPU:
                 if not items:
                     region = r
                 elif r != region:
+                    reason = "watch-boundary"
                     break       # watch-region boundary ends the trace
             mn = insn.mnemonic
             addrs.append(a)
@@ -569,6 +701,7 @@ class CPU:
                 target = a + insn.operands[2]
                 if target == addr:
                     items.append(("condclose", insn, None))
+                    reason = "loop-cond"
                     break
                 items.append(("cond", insn, None))
                 a += insn.length
@@ -576,6 +709,7 @@ class CPU:
                 target = a + insn.operands[0]
                 if target == addr:
                     items.append(("jmpclose", insn, None))
+                    reason = "loop-jmp"
                     break
                 items.append(("jmp", insn, None))
                 a = target
@@ -624,6 +758,7 @@ class CPU:
                 a = expected
             elif mn in _TRANSFERS:
                 items.append(("end", insn, fn))
+                reason = f"transfer:{mn}"
                 break
             else:
                 if mn == "push":
@@ -667,13 +802,23 @@ class CPU:
             )
             fused = linemap = filename = None
             alloc, nowb = (), frozenset()
+            fuse_stats = (n, 0)   # every insn runs via its closure
         else:
             segs = None
-            fused, linemap, filename, alloc, nowb = \
+            fused, linemap, filename, alloc, nowb, fuse_stats = \
                 self._fuse(items, addrs)
         block = (fused, n, region, segs, tuple(addrs),
                  linemap, filename, alloc, nowb)
         self._blocks[addr] = block
+        if telem is not None:
+            telem.record_compile(
+                addr, n,
+                loop=items[-1][0] in ("condclose", "jmpclose"),
+                reason=reason if reason is not None else "cap",
+                seconds=perf_counter() - t0,
+                closure_insns=fuse_stats[0],
+                source_lines=fuse_stats[1],
+                alloc_regs=len(alloc))
         return block
 
     def _predict_return(self, callstack, sp_delta, sp_known, lr_dirty):
@@ -726,7 +871,17 @@ class CPU:
           by a wide margin.  The closing branch stops iterating when
           one more pass would reach the step budget.
 
-        Returns ``(function, linemap, filename, alloc, nowb)``.
+        When an :class:`~repro.obs.engine.EngineTelemetry` is attached,
+        every speculation guard (``callr``/``jmpr``/``ret``) also gets
+        a hit counter (one list-index increment on the fall-through
+        path, bound as ``gh{k}``) and a miss recorder (``gm{k}``, on
+        the trace-exiting path) baked into the generated source.  Both
+        are pure side effects on pre-bound objects: accounting, fault
+        recovery, and the register-allocation pass are untouched, so
+        instrumented blocks stay bit-identical in every observable.
+
+        Returns ``(function, linemap, filename, alloc, nowb,
+        (closure_insns, source_lines))``.
         ``linemap`` maps generated line numbers to ``(index,
         restore_pc)``: ``index`` is the number of instructions
         completed *within the current pass* when that line raises
@@ -748,6 +903,12 @@ class CPU:
                  ("d", self.memory.data),
                  ("UF", UnmappedMemoryFault)]
         names.extend(_MEM_OPS.items())
+        telem = self.telemetry
+
+        def bind_guard(k, insn, kind, extra):
+            site = telem.guard_site(insn.addr, kind, extra)
+            names.append((f"gh{k}", site.counts))
+            names.append((f"gm{k}", site.record_miss))
         n = len(items)
         last_kind = items[-1][0]
         loop = last_kind in ("condclose", "jmpclose")
@@ -848,17 +1009,25 @@ class CPU:
                          (k + 1, True))
                     emit(depth, "s.taken_branches += 1", (k + 1, True))
                 if kind == "callr":
+                    if telem is not None:
+                        bind_guard(k, insn, "callr", extra)
                     emit(depth, f"p = r[{insn.operands[0]}]",
                          (k + 1, False))
                     emit(depth, f"if p != {extra}:", (k + 1, False))
                     emit(depth + 1, "s.pc = p", (k + 1, False))
+                    if telem is not None:
+                        emit(depth + 1, f"gm{k}(p)", (k + 1, False))
                     if loop:
                         emit_flush(depth + 1, (k + 1, False))
                         emit(depth + 1, f"return done + {k + 1}",
                              (k + 1, False))
                     else:
                         emit(depth + 1, f"return {k + 1}")
+                    if telem is not None:
+                        emit(depth, f"gh{k}[0] += 1", (k + 1, True))
             elif kind == "jmpr":
+                if telem is not None:
+                    bind_guard(k, insn, "jmpr", extra)
                 emit(depth, f"p = r[{insn.operands[0]}]", (k, True))
                 if loop:
                     emit(depth, "t += 1", (k + 1, False))
@@ -869,12 +1038,16 @@ class CPU:
                          (k + 1, False))
                 emit(depth, f"if p != {extra}:", (k + 1, False))
                 emit(depth + 1, "s.pc = p", (k + 1, False))
+                if telem is not None:
+                    emit(depth + 1, f"gm{k}(p)", (k + 1, False))
                 if loop:
                     emit_flush(depth + 1, (k + 1, False))
                     emit(depth + 1, f"return done + {k + 1}",
                          (k + 1, False))
                 else:
                     emit(depth + 1, f"return {k + 1}")
+                if telem is not None:
+                    emit(depth, f"gh{k}[0] += 1", (k + 1, True))
             elif kind == "ret":
                 if pushes:
                     emit(depth, f"a = r[{SP}]", (k, True))
@@ -886,6 +1059,8 @@ class CPU:
                          (k, True))
                 else:
                     emit(depth, f"p = r[{LR}]", (k, True))
+                if telem is not None:
+                    bind_guard(k, insn, "ret", extra)
                 if loop:
                     emit(depth, "w += 1", (k + 1, False))
                 else:
@@ -895,12 +1070,16 @@ class CPU:
                          (k + 1, False))
                 emit(depth, f"if p != {extra}:", (k + 1, False))
                 emit(depth + 1, "s.pc = p", (k + 1, False))
+                if telem is not None:
+                    emit(depth + 1, f"gm{k}(p)", (k + 1, False))
                 if loop:
                     emit_flush(depth + 1, (k + 1, False))
                     emit(depth + 1, f"return done + {k + 1}",
                          (k + 1, False))
                 else:
                     emit(depth + 1, f"return {k + 1}")
+                if telem is not None:
+                    emit(depth, f"gh{k}[0] += 1", (k + 1, True))
             elif kind == "end":
                 names.append((f"c{k}", extra))
                 emit(1, f"c{k}()",
@@ -989,8 +1168,10 @@ class CPU:
                     f" #{next(_block_ids)}>")
         namespace = {f"_{nm}": value for nm, value in names}
         exec(compile(src, filename, "exec"), namespace)
+        closures = sum(1 for nm, _ in names
+                       if nm[0] == "c" and nm[1:].isdigit())
         return (namespace["_sb"], linemap, filename, alloc,
-                frozenset(nowb))
+                frozenset(nowb), (closures, len(body)))
 
     def _fault_index(self, block, exc):
         """How many instructions of ``block`` completed before ``exc``.

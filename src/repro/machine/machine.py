@@ -1,6 +1,7 @@
 """The machine facade: memory + kernel + CPU + loader, ready to run."""
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.isa import get_arch
 from repro.isa.registers import LR, SP, TOC
@@ -41,7 +42,8 @@ class Machine:
 
     def __init__(self, arch, costs=None, mem_size=None,
                  step_limit=DEFAULT_STEP_LIMIT, tracer=None,
-                 metrics=None, flight=None, engine="superblock"):
+                 metrics=None, flight=None, engine="superblock",
+                 telemetry=None):
         self.spec = get_arch(arch) if isinstance(arch, str) else arch
         self.costs = costs or CostModel.default()
         #: observability sinks (:mod:`repro.obs`); no-ops by default
@@ -51,11 +53,23 @@ class Machine:
         self.kernel = Kernel(self.memory, self.costs)
         self.cpu = CPU(self.memory, self.spec, self.kernel, self.costs,
                        step_limit, engine=engine)
+        self.cpu.on_demote = self._on_demote
         self.images = []
         #: optional :class:`repro.obs.FlightRecorder`; None = not recording
         self.flight = None
+        #: optional :class:`repro.obs.EngineTelemetry`; None = no JIT
+        #: telemetry
+        self.telemetry = None
         if flight is not None:
             flight.attach(self)
+        if telemetry is not None:
+            telemetry.attach(self)
+
+    def _on_demote(self, cause):
+        """Fused-tier demotions are never silent: mirror each one as a
+        metric and a trace event naming the cause."""
+        self.metrics.inc("engine.demoted")
+        self.tracer.event("engine-demoted", cause=cause)
 
     def load(self, binary, bias=None):
         image = load_binary(binary, self.memory, bias)
@@ -114,11 +128,15 @@ class Machine:
         cpu = self.cpu
         icount0, cycles0 = cpu.icount, cpu.cycles
         counters0 = dict(self.kernel.counters)
+        telemetry = self.telemetry
         with self.tracer.span("machine-run",
                               arch=self.spec.name) as span:
+            t0 = perf_counter() if telemetry is not None else 0.0
             try:
                 exit_code = cpu.run(start, step_limit)
             finally:
+                if telemetry is not None:
+                    telemetry.record_run(perf_counter() - t0)
                 self._record_run(span, cpu, icount0, cycles0, counters0)
         return RunResult(
             exit_code=exit_code,
@@ -151,7 +169,7 @@ class Machine:
 
 def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
                 stack_headroom=1 << 20, tracer=None, metrics=None,
-                flight=None, engine="superblock"):
+                flight=None, engine="superblock", telemetry=None):
     """A machine sized to fit ``binary`` plus stack headroom."""
     alloc = binary.alloc_sections()
     top = max((s.end for s in alloc), default=0)
@@ -160,17 +178,17 @@ def machine_for(binary, costs=None, step_limit=DEFAULT_STEP_LIMIT,
     size = max(size, 4 << 20)
     return Machine(binary.arch_name, costs=costs, mem_size=size,
                    step_limit=step_limit, tracer=tracer, metrics=metrics,
-                   flight=flight, engine=engine)
+                   flight=flight, engine=engine, telemetry=telemetry)
 
 
 def run_binary(binary, runtime_lib=None, costs=None, bias=None,
                step_limit=DEFAULT_STEP_LIMIT, watch_bounce=None,
                tracer=None, metrics=None, flight=None,
-               engine="superblock"):
+               engine="superblock", telemetry=None):
     """Load and run a binary on a fresh machine; returns a RunResult."""
     machine = machine_for(binary, costs=costs, step_limit=step_limit,
                           tracer=tracer, metrics=metrics, flight=flight,
-                          engine=engine)
+                          engine=engine, telemetry=telemetry)
     image = machine.load(binary, bias)
     if runtime_lib is not None:
         machine.install_runtime(runtime_lib, image)

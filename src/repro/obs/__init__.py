@@ -18,6 +18,11 @@ trajectory: a shared :class:`PerfSample` schema, the append-only
 content-addressed :class:`RewriteReceipt` per rewrite, persisted in the
 append-only :class:`ReceiptLedger` — both speaking the shared store
 discipline of :mod:`repro.obs.store`.
+
+:mod:`repro.obs.engine` is the engine observatory: the
+:class:`EngineTelemetry` collector the superblock JIT feeds at
+fuse/compile/dispatch/guard time, read out as a schema-versioned
+``EngineReport/v1`` via :func:`render_engine_report`.
 """
 
 from repro.obs.atlas import (
@@ -31,6 +36,12 @@ from repro.obs.atlas import (
     render_atlas_top,
 )
 from repro.obs.degrade import render_degradation
+from repro.obs.engine import (
+    ENGINE_REPORT_SCHEMA,
+    EngineTelemetry,
+    GuardSite,
+    render_engine_report,
+)
 from repro.obs.flight import FlightRecorder, render_flight_report
 from repro.obs.observatory import (
     BenchHistory,
@@ -88,6 +99,10 @@ __all__ = [
     "Histogram",
     "FlightRecorder",
     "render_flight_report",
+    "EngineTelemetry",
+    "GuardSite",
+    "ENGINE_REPORT_SCHEMA",
+    "render_engine_report",
     "render_degradation",
     "PerfSample",
     "EnvFingerprint",

@@ -22,6 +22,20 @@ records:
 * a **block-cycle histogram** (latency between block entries) rendered
   with percentiles in :func:`render_flight_report`.
 
+Recording comes in two granularities.  The default, ``"block"``,
+*rides the superblock tier*: the CPU calls :meth:`record_superblock`
+once per fused-block dispatch, which rings the next block entry and
+recovers **exact** trampoline-hit counts from the dispatch's executed
+prefix (a block of per-pass length ``n`` returning ``done``
+instructions executed trace index ``i`` exactly ``done // n + (1 if i
+< done % n else 0)`` times).  Hit counts and cycle totals are
+bit-exact; only the *ordering* inside the ring/chain is coarsened to
+one entry per dispatch.  ``granularity="step"`` keeps the original
+per-transfer stream by demoting the run to the per-step tier — no
+longer silently: the demotion is counted on the CPU, mirrored to the
+machine's metrics as ``engine.demoted``, and traced as an
+``engine-demoted`` event.
+
 The disabled path follows PR 1's design: the CPU/kernel hot paths hold a
 ``flight`` attribute that defaults to ``None`` and guard every hook with
 a single ``is not None`` test on a local — cheaper than even a no-op
@@ -77,11 +91,24 @@ class FlightRecorder:
 
     def __init__(self, ring_size=DEFAULT_RING,
                  max_miss_events=DEFAULT_MISS_EVENTS,
-                 tramp_ring=DEFAULT_TRAMP_RING):
+                 tramp_ring=DEFAULT_TRAMP_RING, granularity="block"):
+        if granularity not in ("block", "step"):
+            raise ValueError(
+                f"unknown flight granularity {granularity!r}; "
+                "expected 'block' or 'step'")
+        #: ``"block"`` rides the superblock tier (one record per fused
+        #: dispatch, exact hit counts); ``"step"`` demotes the run to
+        #: the per-step tier for a per-transfer stream.
+        self.granularity = granularity
         self.ring = Ring(ring_size)
         self.blocks = 0
+        #: fused-block dispatches observed (block granularity only)
+        self.superblocks = 0
         self.block_cycles = Histogram("flight.block_cycles")
         self._last_cycles = None
+        #: block addrs tuple -> ((trace index, site addr), ...) of the
+        #: trampoline sites inside that trace
+        self._site_cache = {}
 
         #: loaded trampoline-site address -> (kind, function)
         self.tramp_sites = {}
@@ -105,14 +132,24 @@ class FlightRecorder:
         """Wire this recorder into a machine's CPU and kernel and learn
         the layout of every image already loaded.
 
-        Attaching also demotes ``CPU.run`` to the per-step execution
-        tier: block events and trampoline hits must be observed at
-        every control transfer, which fused superblocks skip by
-        design.  Accounting is identical either way; only wall-clock
-        speed differs."""
+        At the default ``"block"`` granularity the superblock tier
+        keeps running and feeds :meth:`record_superblock` per dispatch.
+        ``"step"`` granularity demotes ``CPU.run`` to the per-step
+        tier — block events must then be observed at every control
+        transfer — and says so: the demotion is counted by cause on
+        the CPU, mirrored as an ``engine.demoted`` metric, and traced
+        as an ``engine-demoted`` event.  Accounting is identical
+        either way; only wall-clock speed differs."""
         machine.flight = self
-        machine.cpu.flight = self
+        cpu = machine.cpu
+        cpu.flight = self
         machine.kernel.flight = self
+        if self.granularity == "step" and cpu.engine == "superblock":
+            # Never silent: _demote mirrors an ``engine.demoted``
+            # metric and an ``engine-demoted`` event via the machine.
+            cpu._demote("flight-recorder")
+            if cpu._blocks:
+                cpu._invalidate_cause("recorder-attach")
         for image in machine.images:
             self.observe_image(image)
         return self
@@ -155,6 +192,43 @@ class FlightRecorder:
         """The instruction at a known trampoline site executed."""
         self.tramp_hits[site] = self.tramp_hits.get(site, 0) + 1
         self.recent_tramps.push(site)
+
+    def tramp_hit_n(self, site, n):
+        """``n`` executions of a trampoline site observed at once (one
+        fused-block dispatch); the chain ring gets a single entry."""
+        self.tramp_hits[site] = self.tramp_hits.get(site, 0) + n
+        self.recent_tramps.push(site)
+
+    def record_superblock(self, block, next_pc, done, cycles):
+        """One fused-block dispatch (block granularity): ring the next
+        block entry and charge trampoline sites for the executed
+        prefix — *exactly*.
+
+        A block whose trace is ``n`` instructions per pass and which
+        returns ``done`` executed ``q = done // n`` full passes plus a
+        ``rem = done % n``-instruction prefix, so trace index ``i`` ran
+        ``q + (1 if i < rem else 0)`` times.  Hit counts therefore
+        match the per-step tier bit for bit; only the ring/chain
+        ordering is coarsened to one entry per dispatch.
+        """
+        self.superblocks += 1
+        self.record_block(next_pc, cycles)
+        tramp_sites = self.tramp_sites
+        if not tramp_sites:
+            return
+        addrs = block[4]
+        sites = self._site_cache.get(addrs)
+        if sites is None:
+            sites = tuple((i, a) for i, a in enumerate(addrs)
+                          if a in tramp_sites)
+            self._site_cache[addrs] = sites
+        if not sites:
+            return
+        q, rem = divmod(done, block[1])
+        for idx, addr in sites:
+            hits = q + 1 if idx < rem else q
+            if hits:
+                self.tramp_hit_n(addr, hits)
 
     def ra_event(self, path, pc, new_pc, hit):
         """One RA translation on ``path`` (``cxx-unwind`` or ``go``)."""
@@ -216,7 +290,9 @@ class FlightRecorder:
         sites = len(self.tramp_sites)
         sites_hit = len(self.tramp_hits)
         return {
+            "granularity": self.granularity,
             "blocks": self.blocks,
+            "superblocks": self.superblocks,
             "ring": [{"pc": pc, "cycles": cycles,
                       "region": self.region_of(pc)}
                      for pc, cycles in self.last_blocks()],

@@ -12,7 +12,7 @@ import pytest
 from repro.isa import Instruction as I, Mem, get_arch
 from repro.isa.registers import R0, R1, R2, R3
 from repro.machine import CostModel, machine_for, run_binary
-from repro.obs import FlightRecorder, Metrics
+from repro.obs import EngineTelemetry, FlightRecorder, Metrics
 from repro.util.errors import MachineFault, UnmappedMemoryFault
 
 from tests.conftest import workload
@@ -33,9 +33,9 @@ def workload_binaries():
 
 
 def _run_engine(binary, engine, costs=None, watch=False, flight=None,
-                step_limit=None):
+                step_limit=None, telemetry=None):
     machine = machine_for(binary, costs=costs, engine=engine,
-                          flight=flight)
+                          flight=flight, telemetry=telemetry)
     image = machine.load(binary)
     if watch:
         text = binary.section(".text")
@@ -53,18 +53,27 @@ def assert_parity(res_a, res_b):
 class TestEngineParity:
     @pytest.mark.parametrize("workload", WORKLOADS)
     @pytest.mark.parametrize("config", ["default", "icache", "watch"])
-    def test_workload_parity(self, workload_binaries, workload, config):
+    @pytest.mark.parametrize("observed", [False, True],
+                             ids=["plain", "telemetry"])
+    def test_workload_parity(self, workload_binaries, workload, config,
+                             observed):
         binary = workload_binaries[workload]
         costs = CostModel.with_icache() if config == "icache" else None
         watch = config == "watch"
+        # Telemetry must be a pure observer: the instrumented
+        # superblock tier stays bit-identical to per-step execution.
+        telemetry = EngineTelemetry() if observed else None
         step, _ = _run_engine(binary, "step", costs=costs, watch=watch)
         sb, machine = _run_engine(binary, "superblock", costs=costs,
-                                  watch=watch)
+                                  watch=watch, telemetry=telemetry)
         assert_parity(step, sb)
         if config == "watch":
             assert sb.transitions > 0
         if config == "icache":
             assert sb.icache_misses > 0
+        if observed:
+            assert telemetry.dispatches > 0
+            assert telemetry.block_instructions == sb.icount
 
     def test_rewritten_binary_parity(self, workload_binaries):
         from repro.core import RewriteMode, rewrite_binary
@@ -285,15 +294,34 @@ class TestBlockCacheLifecycle:
 
 
 class TestFlightFallback:
-    def test_flight_recorder_forces_per_step(self, workload_binaries):
+    def test_block_granularity_rides_superblocks(self,
+                                                 workload_binaries):
         binary = workload_binaries["619.lbm_s"]
-        flight = FlightRecorder()
+        flight = FlightRecorder()   # granularity="block" by default
         machine = machine_for(binary, flight=flight)
         machine.load(binary)
         recorded = machine.run()
-        # Superblocks skip per-transfer block events, so an attached
-        # recorder must demote run() to the per-step tier.
+        # The default recorder rides the fused tier: blocks are built
+        # and dispatched, no demotion is counted, and results still
+        # match an unobserved superblock run bit for bit.
+        assert machine.cpu._blocks
+        assert machine.cpu.demotions == {}
+        assert flight.superblocks > 0
+        plain, _ = _run_engine(binary, "superblock")
+        assert_parity(recorded, plain)
+        assert len(flight.ring) > 0
+
+    def test_step_granularity_forces_per_step(self, workload_binaries):
+        binary = workload_binaries["619.lbm_s"]
+        flight = FlightRecorder(granularity="step")
+        machine = machine_for(binary, flight=flight)
+        machine.load(binary)
+        recorded = machine.run()
+        # Superblocks skip per-transfer block events, so an explicit
+        # step-granularity recorder demotes run() to the per-step tier
+        # — and the demotion is counted, never silent.
         assert not machine.cpu._blocks
+        assert machine.cpu.demotions == {"flight-recorder": 1}
         plain, _ = _run_engine(binary, "superblock")
         assert_parity(recorded, plain)
         assert len(flight.ring) > 0
